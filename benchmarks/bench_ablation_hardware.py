@@ -1,0 +1,111 @@
+"""Ablations over the TEST hardware parameters DESIGN.md calls out.
+
+* comparator-bank count: how many loops of a deep nest get analyzed;
+* heap store-timestamp FIFO depth: missed dependencies when history is
+  short (the Section 6.2 imprecision knob);
+* convergence threshold: profiling cost vs statistics freshness.
+"""
+
+from repro.hydra import HydraConfig
+from repro.jrpm import Jrpm
+from repro.workloads import get_workload
+
+from benchmarks.conftest import banner
+
+DEEP_NEST = """
+func main() {
+  var a = array(256);
+  var s = 0;
+  for (var i = 0; i < 4; i = i + 1) {
+    for (var j = 0; j < 4; j = j + 1) {
+      for (var k = 0; k < 4; k = k + 1) {
+        for (var l = 0; l < 4; l = l + 1) {
+          for (var m = 0; m < 4; m = m + 1) {
+            s = s + a[(i * 81 + j * 27 + k * 9 + l * 3 + m) % 256];
+          }
+        }
+      }
+    }
+  }
+  return s;
+}
+"""
+
+
+def test_ablation_bank_count(benchmark):
+    print(banner("Ablation - comparator bank count on a 5-deep nest"))
+    print("%-8s %18s %18s" % ("banks", "loops profiled",
+                              "unbanked activations"))
+    profiled = {}
+    for banks in (1, 2, 3, 8):
+        config = HydraConfig(n_comparator_banks=banks)
+        rep = Jrpm(source=DEEP_NEST, name="nest", config=config,
+                   convergence_threshold=None).run(simulate_tls=False)
+        got = sum(1 for st in rep.device.stats.values()
+                  if st.profiled_threads > 0)
+        profiled[banks] = got
+        print("%-8d %18d %18d" % (banks, got,
+                                  rep.device.n_unbanked_activations))
+
+    # more banks -> more of the nest analyzed; 8 banks covers all 5
+    assert profiled[1] < profiled[3] <= profiled[8]
+    assert profiled[8] == 5
+    assert profiled[1] == 1
+
+    benchmark.pedantic(
+        lambda: Jrpm(source=DEEP_NEST,
+                     config=HydraConfig(n_comparator_banks=8)
+                     ).run(simulate_tls=False),
+        rounds=1, iterations=1)
+
+
+def test_ablation_fifo_depth(benchmark):
+    """A shallow store-timestamp FIFO forgets producers and misses
+    arcs — TEST then overestimates the dependent loop."""
+    print(banner("Ablation - heap store-timestamp FIFO depth "
+                 "(Huffman decode)"))
+    w = get_workload("NumHeapSort")
+    print("%-12s %14s %16s" % ("FIFO lines", "arcs found",
+                               "FIFO evictions"))
+    arcs = {}
+    for lines in (2, 16, 192):
+        config = HydraConfig(heap_ts_fifo_lines=lines)
+        rep = Jrpm(source=w.source(), name=w.name, config=config,
+                   convergence_threshold=None).run(simulate_tls=False)
+        total_arcs = sum(st.arcs_prev + st.arcs_earlier
+                         for st in rep.device.stats.values())
+        arcs[lines] = total_arcs
+        print("%-12d %14d %16d" % (lines, total_arcs,
+                                   rep.device.heap_ts.evictions))
+
+    assert arcs[2] < arcs[192]
+    assert arcs[16] <= arcs[192]
+
+    benchmark.pedantic(lambda: arcs, rounds=1, iterations=1)
+
+
+def test_ablation_convergence_threshold(benchmark):
+    """Earlier convergence cuts profiling cost; the sampled
+    re-profiling keeps the selection stable."""
+    print(banner("Ablation - convergence threshold (BitOps)"))
+    w = get_workload("BitOps")
+    print("%-12s %12s %14s %12s" % ("threshold", "slowdown",
+                                    "selected", "pred speedup"))
+    rows = {}
+    for threshold in (None, 10_000, 1000, 200):
+        rep = Jrpm(source=w.source(), name=w.name,
+                   convergence_threshold=threshold).run(
+            simulate_tls=False)
+        rows[threshold] = rep
+        print("%-12s %11.1f%% %14s %11.2fx" % (
+            threshold, 100 * (rep.profiling_slowdown - 1),
+            rep.selection.selected_ids(), rep.predicted_speedup))
+
+    # disabling converged analysis never makes profiling slower
+    assert rows[200].profiling_slowdown \
+        <= rows[None].profiling_slowdown + 1e-9
+    # and the chosen decomposition is stable across thresholds
+    baseline = set(rows[None].selection.selected_ids())
+    assert set(rows[1000].selection.selected_ids()) == baseline
+
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)

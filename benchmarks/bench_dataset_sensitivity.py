@@ -1,0 +1,76 @@
+"""Table 6 column (b) — data-set-sensitive decomposition selection.
+
+Section 6.1: "loops lower in a loop nest must be chosen with larger
+data sets because the number of inner loop iterations will rise,
+increasing the probability of overflowing speculative state when
+speculating higher in a loop nest."
+
+This bench runs one 2-D traversal at three data sizes on the *same*
+hardware and shows the selected level of the nest dropping as the rows
+outgrow the store buffer.
+"""
+
+from repro.jrpm import Jrpm
+
+from benchmarks.conftest import banner
+
+# each outer iteration writes one row of `cols` words; at 32 B lines
+# the row costs cols/8 store-buffer lines (limit: 64)
+SOURCE_TEMPLATE = """
+func main() {
+  var rows = %d;
+  var cols = %d;
+  var grid = array(rows * cols);
+  var check = 0;
+  for (var r = 0; r < rows; r = r + 1) {
+    for (var c = 0; c < cols; c = c + 1) {
+      grid[r * cols + c] = (r * 31 + c * 7) %% 65536;
+    }
+  }
+  for (var k = 0; k < rows * cols; k = k + 1) {
+    check = (check + grid[k]) %% 1000003;
+  }
+  return check;
+}
+"""
+
+#: (label, rows, cols): cols/8 store lines per outer iteration
+DATASETS = [
+    ("small  (rows of 16 lines)", 96, 128),
+    ("medium (rows of 48 lines)", 40, 384),
+    ("large  (rows of 96 lines)", 24, 768),
+]
+
+
+def fill_nest_depth(rows, cols):
+    rep = Jrpm(source=SOURCE_TEMPLATE % (rows, cols),
+               name="grid-%dx%d" % (rows, cols)).run(simulate_tls=False)
+    table = rep.candidates
+    main_stl = max(rep.selection.significant(),
+                   key=lambda s: s.stats.cycles)
+    return (table.by_id[main_stl.loop_id].depth,
+            main_stl.stats.avg_thread_size,
+            main_stl.stats.overflow_freq, rep)
+
+
+def test_dataset_sensitivity(benchmark):
+    print(banner("Table 6 col (b) - selection moves down the nest "
+                 "as the data set grows"))
+    print("%-28s %12s %14s" % ("data set", "chosen depth",
+                               "thread size"))
+    depths = {}
+    for label, rows, cols in DATASETS:
+        depth, size, ovf, _ = fill_nest_depth(rows, cols)
+        depths[label] = depth
+        print("%-28s %12d %12.0fcy" % (label, depth, size))
+
+    small = depths[DATASETS[0][0]]
+    large = depths[DATASETS[-1][0]]
+    # small rows fit the store buffer: speculate on the row loop;
+    # large rows overflow it: selection must move to the element loop
+    assert small == 1
+    assert large == 2
+    assert large > small
+
+    benchmark.pedantic(fill_nest_depth, args=(24, 768), rounds=1,
+                       iterations=1)

@@ -1,0 +1,52 @@
+"""Figure 11 — estimated versus actual (TLS-simulated) speedup.
+
+For every workload, prints the two normalized-execution-time bars of
+the figure.  Shape targets: prediction tracks the simulation for most
+benchmarks, with the large disparities concentrated where the paper
+saw them — STLs with highly varying thread sizes and real violation
+rates.
+"""
+
+import math
+
+from repro.workloads import all_workloads
+
+from benchmarks.conftest import banner
+
+
+def test_fig11_predicted_vs_actual(benchmark, fleet_reports):
+    print(banner("Figure 11 - Estimated vs actual normalized "
+                 "execution time (1.0 = sequential)"))
+    print("%-14s %10s %10s %8s %12s" % (
+        "Benchmark", "predicted", "actual", "ratio", "viol/thread"))
+
+    rows = []
+    for w in all_workloads():
+        rep = fleet_reports[w.name]
+        out = rep.outcome
+        pred = out.predicted_normalized_time
+        act = out.actual_normalized_time
+        vpt = (out.total_violations / max(1, sum(
+            r.threads for r in out.results.values())))
+        rows.append((w.name, pred, act, vpt))
+        print("%-14s %10.3f %10.3f %8.2f %12.4f" % (
+            w.name, pred, act, act / pred if pred else float("nan"),
+            vpt))
+
+    # prediction quality: most benchmarks within 35% of the simulated
+    # time; geometric-mean ratio near 1
+    ratios = [act / pred for _, pred, act, _ in rows]
+    close = [r for r in ratios if 0.65 < r < 1.55]
+    assert len(close) >= len(rows) - 4, sorted(ratios)
+
+    log_gmean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    assert 0.8 < log_gmean < 1.25, log_gmean
+
+    # both series always within [something-positive, ~1]
+    for name, pred, act, _ in rows:
+        assert 0.2 < pred <= 1.0 + 1e-9, name
+        assert 0.2 < act <= 1.6, name
+
+    # time the whole-program aggregation
+    rep = fleet_reports["Huffman"]
+    benchmark(lambda: rep.outcome.actual_speedup)

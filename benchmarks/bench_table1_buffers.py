@@ -1,0 +1,37 @@
+"""Table 1 — thread-level speculation buffer limits.
+
+Prints the configured per-thread speculative buffer limits and times
+the buffer occupancy models that enforce them in the TLS simulator.
+"""
+
+from repro.hydra import DEFAULT_HYDRA, FullyAssocBuffer, SetAssocCache
+
+from benchmarks.conftest import banner
+
+
+def test_table1_buffer_limits(benchmark):
+    cfg = DEFAULT_HYDRA
+    print(banner("Table 1 - Thread-level speculation buffer limits"))
+    print("%-14s %-26s %-14s" % ("Buffer", "Per-thread limit",
+                                 "Associativity"))
+    for name, limit, assoc in cfg.buffer_limits_table():
+        print("%-14s %-26s %-14s" % (name, limit, assoc))
+
+    # paper values, exactly
+    assert cfg.load_buffer_bytes == 16 * 1024
+    assert cfg.store_buffer_bytes == 2 * 1024
+
+    def occupancy_kernel():
+        cache = SetAssocCache(cfg.load_buffer_lines,
+                              cfg.load_buffer_assoc)
+        buf = FullyAssocBuffer(cfg.store_buffer_lines)
+        overflows = 0
+        for line in range(2048):
+            if cache.touch(line * 7 % 1024):
+                overflows += 1
+            if buf.touch(line % 96):
+                overflows += 1
+        return overflows
+
+    result = benchmark(occupancy_kernel)
+    assert result >= 0

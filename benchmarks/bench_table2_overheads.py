@@ -1,0 +1,34 @@
+"""Table 2 — thread-level speculation overheads.
+
+Prints the Table 2 overhead schedule and times the Equation 1
+estimator that consumes it.
+"""
+
+from repro.hydra import DEFAULT_HYDRA
+from repro.tracer import estimate_speedup
+from repro.tracer.stats import STLStats
+
+from benchmarks.conftest import banner
+
+
+def test_table2_overheads(benchmark):
+    cfg = DEFAULT_HYDRA
+    print(banner("Table 2 - Thread-level speculation overheads"))
+    print("%-26s %10s   %s" % ("TLS Operation", "Overhead", "Notes"))
+    for name, cycles, note in cfg.overheads_table():
+        print("%-26s %7d cy   %s" % (name, cycles, note[:46]))
+
+    assert cfg.startup_overhead == 25
+    assert cfg.eoi_overhead == 5
+
+    stats = STLStats(0)
+    stats.cycles = 500_000
+    stats.threads = 2_000
+    stats.entries = 10
+    stats.profiled_threads = 2_000
+    stats.profiled_entries = 10
+    stats.arcs_prev = 900
+    stats.arc_len_prev = 900 * 120
+
+    est = benchmark(estimate_speedup, stats, cfg)
+    assert 1.0 <= est.speedup <= 4.0

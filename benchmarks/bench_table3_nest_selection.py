@@ -1,0 +1,55 @@
+"""Table 3 — applying Equation 2 to the Huffman decode nest.
+
+Regenerates the paper's comparison: speculating on the outer
+(per-symbol) loop vs. delegating to the inner (bit-chasing) loop plus
+serial execution.  The shape target: the outer loop wins.
+"""
+
+from repro.tracer import select_stls
+
+from benchmarks.conftest import banner
+
+
+def test_table3_huffman_nest(benchmark, huffman_workload_report):
+    rep = huffman_workload_report
+    sel = rep.selection
+    table = rep.candidates
+
+    # the decode nest: the candidate with a nested child
+    outer = [c for c in table.candidates() if c.child_ids][0]
+    inner_id = outer.child_ids[0]
+    d_outer = sel.decisions[outer.loop_id]
+    d_inner = sel.decisions[inner_id]
+
+    serial_inside_outer = d_outer.stats.cycles - d_inner.stats.cycles
+    outer_time = d_outer.time_if_speculated
+    inner_plus_serial = d_inner.time_if_speculated + serial_inside_outer
+
+    print(banner("Table 3 - Equation 2 on the Huffman decode nest"))
+    print("%-24s %14s %14s %14s" % ("", "Outer loop", "Inner loop",
+                                    "Serial"))
+    print("%-24s %13dK %13dK %13dK" % (
+        "Sequential time (cycles)",
+        d_outer.stats.cycles // 1000,
+        d_inner.stats.cycles // 1000,
+        serial_inside_outer // 1000))
+    print("%-24s %14.2f %14.2f %14.2f" % (
+        "Speedup", d_outer.estimate.speedup, d_inner.estimate.speedup,
+        1.0))
+    print("%-24s %13dK %13dK" % (
+        "TLS time (cycles)", int(outer_time) // 1000,
+        int(d_inner.time_if_speculated) // 1000))
+    print("%-24s %13dK %s %13dK" % (
+        "Total time (cycles)", int(outer_time) // 1000,
+        "<" if outer_time < inner_plus_serial else ">=",
+        int(inner_plus_serial) // 1000))
+
+    # the paper's conclusion: the outer loop is the better STL
+    assert outer_time < inner_plus_serial
+    assert outer.loop_id in sel.selected_ids()
+    assert inner_id not in sel.selected_ids()
+
+    # time the selection pass itself (Equation 2 over all loops)
+    benchmark.pedantic(
+        select_stls, args=(rep.device, rep.profiled.cycles),
+        rounds=20, iterations=1)

@@ -1,0 +1,53 @@
+"""Table 4 — annotating instructions and their trace operations.
+
+Prints the annotation ISA with the static/dynamic counts observed on a
+real workload, and times the annotation pass itself.
+"""
+
+from collections import Counter
+
+from repro.bytecode import Op
+from repro.cfg import find_candidates
+from repro.jit import AnnotationLevel, annotate_program
+from repro.workloads import get_workload
+
+from benchmarks.conftest import banner
+
+SEMANTICS = {
+    Op.SLOOP: ("Start loop", "Allocate comparator bank; set thread "
+                             "start timestamp; reserve n local slots"),
+    Op.EOI: ("Loop end-of-iteration", "Shift thread start timestamps; "
+                                      "start next thread"),
+    Op.ELOOP: ("End loop", "Free comparator bank and local slots"),
+    Op.LWL: ("Local variable load", "Get store timestamp for local vn"),
+    Op.SWL: ("Local variable store", "Record store timestamp for vn"),
+    Op.READSTATS: ("Read statistics", "Drain comparator-bank counters"),
+}
+
+
+def test_table4_annotation_instructions(benchmark):
+    workload = get_workload("Huffman")
+    program = workload.compile()
+    table = find_candidates(program)
+
+    ann = benchmark(annotate_program, program, table,
+                    AnnotationLevel.OPTIMIZED)
+
+    static = Counter()
+    for fn in ann.program.functions.values():
+        for ins in fn.code:
+            if ins.op in SEMANTICS:
+                static[ins.op] += 1
+
+    print(banner("Table 4 - Annotating instructions "
+                 "(static sites in Huffman)"))
+    print("%-12s %-22s %6s   %s" % ("Instruction", "Description",
+                                    "Sites", "Trace operation"))
+    for op, (desc, trace_op) in SEMANTICS.items():
+        print("%-12s %-22s %6d   %s" % (op.name.lower(), desc,
+                                        static[op], trace_op))
+
+    # every annotated loop has sloop/eloop sites and a readstats site
+    assert static[Op.SLOOP] >= len(ann.annotated_loops)
+    assert static[Op.READSTATS] >= len(ann.annotated_loops)
+    assert static[Op.LWL] > 0 and static[Op.SWL] > 0

@@ -1,0 +1,23 @@
+"""Table 5 — transistor-count estimates for Hydra with TLS + TEST.
+
+The headline reproduction target: the TEST comparator-bank array adds
+less than 1% of the CMP's transistors.
+"""
+
+from repro.hydra import TransistorBudget
+
+from benchmarks.conftest import banner
+
+
+def test_table5_transistor_estimates(benchmark):
+    budget = benchmark(TransistorBudget)
+
+    print(banner("Table 5 - Transistor count estimates"))
+    print(budget.render())
+    print("\nTEST comparator array share: %.2f%% (paper: < 1%%)"
+          % (100 * budget.test_fraction))
+
+    assert budget.test_fraction < 0.01
+    assert budget.fraction("2MB L2 cache") > 0.5
+    # write buffers similarly stay below 1%
+    assert budget.fraction("Write buffer") < 0.01

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+expensive part — running the full Jrpm pipeline over the 26 workloads —
+is done once per session and shared; each bench then prints its
+table/figure from the cached reports and times a representative kernel
+with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.jrpm import Jrpm, JrpmReport
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="session")
+def fleet_reports() -> Dict[str, JrpmReport]:
+    """Full pipeline reports for all 26 workloads (Table 6 order)."""
+    reports: Dict[str, JrpmReport] = {}
+    for w in all_workloads():
+        reports[w.name] = Jrpm(source=w.source(), name=w.name).run()
+    return reports
+
+
+@pytest.fixture(scope="session")
+def huffman_workload_report() -> JrpmReport:
+    """Pipeline report for the paper's running example workload."""
+    from repro.workloads import get_workload
+    w = get_workload("Huffman")
+    return Jrpm(source=w.source(), name=w.name).run()
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(8, len(title))
+    return "\n%s\n%s\n%s" % (bar, title, bar)

@@ -1,0 +1,81 @@
+"""Dynamic re-selection across hardware generations (Section 6.1).
+
+The paper: "larger STLs that would cause speculative buffer overflows
+in our current system could be chosen during runtime by a future Hydra
+design with larger speculative store buffers and L1 caches."
+
+This example profiles one blocked-sweep workload under three Hydra
+configurations — a cut-down machine, the paper's machine, and an
+imagined future machine — and shows the selected decomposition moving
+*up* the loop nest as the speculative buffers grow.
+
+Run:  python examples/hardware_generations.py
+"""
+
+from repro.hydra import HydraConfig
+from repro.jrpm import Jrpm
+
+# store state per iteration: a row is 192 words (24 lines) and a block
+# is 24 rows (576 lines) — each machine generation can afford a
+# different level of the nest
+SOURCE = """
+func main() {
+  var nblocks = 6;
+  var rows = 24;
+  var cols = 192;
+  var data = array(nblocks * rows * cols);
+  var checksum = 0;
+  for (var b = 0; b < nblocks; b = b + 1) {
+    for (var r = 0; r < rows; r = r + 1) {
+      for (var c = 0; c < cols; c = c + 1) {
+        var idx = (b * rows + r) * cols + c;
+        data[idx] = (idx * 2654435761) % 65536;
+      }
+    }
+  }
+  for (var k = 0; k < nblocks * rows * cols; k = k + 1) {
+    checksum = (checksum + data[k]) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+GENERATIONS = [
+    ("cut-down Hydra", HydraConfig(store_buffer_lines=16,
+                                   load_buffer_lines=128)),
+    ("paper's Hydra", HydraConfig()),
+    ("future Hydra", HydraConfig(store_buffer_lines=1024,
+                                 load_buffer_lines=4096)),
+]
+
+
+def main():
+    depths = {}
+    for name, config in GENERATIONS:
+        report = Jrpm(source=SOURCE, name=name, config=config).run(
+            simulate_tls=False)
+        table = report.candidates
+        sel = report.selection.significant()
+        levels = sorted(table.by_id[s.loop_id].depth for s in sel)
+        sizes = [round(s.stats.avg_thread_size) for s in sel]
+        # the fill nest's choice = the biggest-coverage selected loop
+        main_stl = max(sel, key=lambda s: s.stats.cycles)
+        depths[name] = table.by_id[main_stl.loop_id].depth
+        print("%-16s store buffer %4d lines -> fill nest at depth %d "
+              "(thread size %d cy); all selected depths %s sizes %s"
+              % (name, config.store_buffer_lines, depths[name],
+                 round(main_stl.stats.avg_thread_size), levels, sizes))
+
+    print()
+    if depths["cut-down Hydra"] > depths["future Hydra"]:
+        print("As buffers grow, selection climbs the nest: "
+              "depth %d on the cut-down machine vs depth %d on the "
+              "future machine — the same program, re-decided at "
+              "runtime, with no recompilation of sources."
+              % (depths["cut-down Hydra"], depths["future Hydra"]))
+    else:
+        print("Selected depths: %r" % depths)
+
+
+if __name__ == "__main__":
+    main()

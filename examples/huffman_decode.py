@@ -1,0 +1,71 @@
+"""The paper's running example: Huffman decode (Figures 3, Table 3).
+
+Walks through what TEST sees on the Huffman workload:
+
+1. the candidate STLs found in the CFG (all natural loops);
+2. the accumulated per-loop statistics (the Figure 3 bottom table);
+3. the Equation 2 nest comparison that picks the *outer* per-symbol
+   loop over the inner bit-chasing loop (Table 3);
+4. the TLS simulation confirming the choice.
+
+Run:  python examples/huffman_decode.py
+"""
+
+from repro.jrpm import Jrpm
+from repro.workloads import get_workload
+
+
+def main():
+    workload = get_workload("Huffman")
+    report = Jrpm(source=workload.source(), name="Huffman").run()
+
+    table = report.candidates
+    print("Potential STLs (natural loops, Section 4.1):")
+    for cand in table.candidates():
+        scalar = cand.scalar
+        print("  L%-2d depth=%d tracked_locals=%d inductors=%d "
+              "reductions=%d carried=%d"
+              % (cand.loop_id, cand.depth, len(cand.tracked_locals),
+                 len(scalar.inductors), len(scalar.reductions),
+                 len(scalar.carried)))
+
+    # the decode nest is the loop with a nested child
+    outer = [c for c in table.candidates() if c.child_ids][0]
+    inner_id = outer.child_ids[0]
+
+    print("\nAccumulated statistics — outer (per-symbol) loop L%d:"
+          % outer.loop_id)
+    print(report.device.stats[outer.loop_id].render())
+    print("\nAccumulated statistics — inner (bit-chase) loop L%d:"
+          % inner_id)
+    print(report.device.stats[inner_id].render())
+
+    sel = report.selection
+    d_outer = sel.decisions[outer.loop_id]
+    d_inner = sel.decisions[inner_id]
+    serial = d_outer.stats.cycles - d_inner.stats.cycles
+    print("\nEquation 2 (Table 3):")
+    print("  speculate outer : %8.0fK cycles (%.2fx over %.0fK)"
+          % (d_outer.time_if_speculated / 1000,
+             d_outer.estimate.speedup, d_outer.stats.cycles / 1000))
+    print("  delegate inner  : %8.0fK cycles (%.2fx over %.0fK, plus "
+          "%.0fK serial)"
+          % ((d_inner.time_if_speculated + serial) / 1000,
+             d_inner.estimate.speedup, d_inner.stats.cycles / 1000,
+             serial / 1000))
+    winner = "outer" if outer.loop_id in sel.selected_ids() else "inner"
+    print("  chosen          : the %s loop" % winner)
+
+    print("\nTLS simulation of the selection:")
+    for stl in sel.selected:
+        res = report.tls_results.get(stl.loop_id)
+        if res is None:
+            continue
+        print("  L%-2d predicted %.2fx  actual %.2fx  "
+              "(%d violations over %d threads)"
+              % (stl.loop_id, stl.estimate.speedup, res.speedup,
+                 res.violations, res.threads))
+
+
+if __name__ == "__main__":
+    main()

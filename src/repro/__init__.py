@@ -1,0 +1,43 @@
+"""Reproduction of "TEST: A Tracer for Extracting Speculative Threads"
+(Chen & Olukotun, CGO 2003).
+
+The package implements the paper's full system and its substrates:
+
+* :mod:`repro.lang` — the minijava front-end workloads are written in;
+* :mod:`repro.bytecode` — the register bytecode ISA;
+* :mod:`repro.cfg` — CFGs, natural loops, STL candidates (Section 4.1);
+* :mod:`repro.jit` — the annotating/optimizing/speculative microJIT;
+* :mod:`repro.runtime` — the cycle-cost interpreter (one Hydra core);
+* :mod:`repro.hydra` — the Hydra CMP machine model (Tables 1, 2, 5);
+* :mod:`repro.tracer` — **TEST itself** (Sections 4-5);
+* :mod:`repro.tls` — the trace-driven TLS timing simulator;
+* :mod:`repro.jrpm` — the end-to-end pipeline (Figure 1) and CLI;
+* :mod:`repro.workloads` — the paper's 26 benchmarks (Table 6);
+* :mod:`repro.fuzz` — random-program generation for differential tests.
+
+Quick start::
+
+    from repro import run_pipeline, render_summary
+    report = run_pipeline(source_text, name="demo")
+    print(render_summary(report))
+
+See README.md for the architecture overview, DESIGN.md for the
+paper-to-module map, and EXPERIMENTS.md for the reproduction ledger.
+"""
+
+from repro.jrpm.pipeline import Jrpm, JrpmReport, run_pipeline
+from repro.jrpm.report import render_summary
+from repro.lang.codegen import compile_source
+from repro.runtime.interpreter import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Jrpm",
+    "JrpmReport",
+    "compile_source",
+    "render_summary",
+    "run_pipeline",
+    "run_program",
+    "__version__",
+]

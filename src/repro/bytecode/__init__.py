@@ -1,0 +1,47 @@
+"""Register-style bytecode ISA: the compilation target for minijava.
+
+Public surface:
+
+* :class:`~repro.bytecode.opcodes.Op`, :class:`~repro.bytecode.opcodes.BinOp`,
+  :class:`~repro.bytecode.opcodes.UnOp` — opcode enums.
+* :class:`~repro.bytecode.instructions.Instr` — one instruction.
+* :class:`~repro.bytecode.program.Function`,
+  :class:`~repro.bytecode.program.Program` — containers.
+* :class:`~repro.bytecode.builder.FunctionBuilder` — assembler-style builder.
+* :func:`~repro.bytecode.verifier.verify_program` — structural checks.
+* :func:`~repro.bytecode.disasm.disassemble` — pretty printer.
+"""
+
+from repro.bytecode.builder import FunctionBuilder, Label
+from repro.bytecode.disasm import disassemble, disassemble_function
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import (
+    ANNOTATION_OPS,
+    BIN_SYMBOL,
+    INTRINSICS,
+    TERMINATORS,
+    BinOp,
+    Op,
+    UnOp,
+)
+from repro.bytecode.program import Function, Program
+from repro.bytecode.verifier import verify_function, verify_program
+
+__all__ = [
+    "ANNOTATION_OPS",
+    "BIN_SYMBOL",
+    "BinOp",
+    "Function",
+    "FunctionBuilder",
+    "INTRINSICS",
+    "Instr",
+    "Label",
+    "Op",
+    "Program",
+    "TERMINATORS",
+    "UnOp",
+    "disassemble",
+    "disassemble_function",
+    "verify_function",
+    "verify_program",
+]

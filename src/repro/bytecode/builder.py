@@ -1,0 +1,209 @@
+"""Assembler-style builder for bytecode functions.
+
+The builder is the back half of the code generator: it manages labels,
+slot allocation (named locals vs. temporaries), and fix-ups of forward
+branch targets.  Tests and small examples also use it directly to write
+bytecode without going through the minijava front-end.
+
+Example
+-------
+>>> b = FunctionBuilder("main")
+>>> i = b.named_local("i")
+>>> b.const(i, 0)
+>>> top = b.label()
+>>> b.mark(top)
+>>> cond = b.temp()
+>>> limit = b.temp()
+>>> b.const(limit, 10)
+>>> b.binop(BinOp.LT, cond, i, limit)
+>>> done = b.label()
+>>> body = b.label()
+>>> b.br(cond, body, done)
+>>> b.mark(body)
+>>> one = b.temp()
+>>> b.const(one, 1)
+>>> b.binop(BinOp.ADD, i, i, one)
+>>> b.jmp(top)
+>>> b.mark(done)
+>>> b.ret()
+>>> fn = b.build()
+>>> fn.n_named
+1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import BinOp, INTRINSICS, Op, UnOp
+from repro.bytecode.program import Function
+from repro.errors import CodegenError
+
+
+class Label:
+    """A branch target; resolved to a pc when :meth:`FunctionBuilder.mark` runs."""
+
+    __slots__ = ("pc", "ident")
+
+    def __init__(self, ident: int):
+        self.pc: int = -1
+        self.ident = ident
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Label %d pc=%d>" % (self.ident, self.pc)
+
+
+class FunctionBuilder:
+    """Builds a :class:`repro.bytecode.program.Function` incrementally."""
+
+    def __init__(self, name: str, params: Tuple[str, ...] = ()):
+        self._fn = Function(name, n_params=len(params))
+        self._fn.n_named = 0  # grows as named_local() allocates
+        self._named: Dict[str, int] = {}
+        self._labels: List[Label] = []
+        self._fixups: List[Tuple[int, str, Label]] = []
+        self._next_slot = 0
+        self._built = False
+        for p in params:
+            self.named_local(p)
+
+    # -- slots -----------------------------------------------------------
+
+    def named_local(self, name: str) -> int:
+        """Allocate (or return) the slot of a named local variable.
+
+        Named locals must all be allocated before the first temporary so
+        they occupy a contiguous prefix of the slot file.
+        """
+        if name in self._named:
+            return self._named[name]
+        if self._next_slot != self._fn.n_named:
+            raise CodegenError(
+                "named local %r allocated after temporaries" % name)
+        slot = self._next_slot
+        self._next_slot += 1
+        self._named[name] = slot
+        self._fn.n_named = self._next_slot
+        self._fn.slot_names[slot] = name
+        return slot
+
+    def temp(self) -> int:
+        """Allocate a fresh temporary slot."""
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def lookup(self, name: str) -> int:
+        """Slot of a previously allocated named local."""
+        try:
+            return self._named[name]
+        except KeyError:
+            raise CodegenError("unknown local %r" % name) from None
+
+    # -- labels ----------------------------------------------------------
+
+    def label(self) -> Label:
+        """Create an unmarked label."""
+        lab = Label(len(self._labels))
+        self._labels.append(lab)
+        return lab
+
+    def mark(self, label: Label) -> None:
+        """Bind ``label`` to the current pc."""
+        if label.pc != -1:
+            raise CodegenError("label %d marked twice" % label.ident)
+        label.pc = len(self._fn.code)
+
+    @property
+    def pc(self) -> int:
+        """Current instruction index (where the next emit lands)."""
+        return len(self._fn.code)
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, ins: Instr) -> int:
+        if self._built:
+            raise CodegenError("builder already finished")
+        self._fn.code.append(ins)
+        return len(self._fn.code) - 1
+
+    def const(self, dst: int, value) -> None:
+        """``dst = value`` (int or float immediate)."""
+        self._emit(Instr(Op.CONST, a=dst, imm=value))
+
+    def mov(self, dst: int, src: int) -> None:
+        """``dst = src``."""
+        self._emit(Instr(Op.MOV, a=dst, b=src))
+
+    def binop(self, op: BinOp, dst: int, lhs: int, rhs: int) -> None:
+        """``dst = lhs <op> rhs``."""
+        self._emit(Instr(Op.BIN, sub=int(op), a=dst, b=lhs, c=rhs))
+
+    def unop(self, op: UnOp, dst: int, src: int) -> None:
+        """``dst = <op> src``."""
+        self._emit(Instr(Op.UN, sub=int(op), a=dst, b=src))
+
+    def newarr(self, dst: int, length: int) -> None:
+        """``dst = new array[slot length]``."""
+        self._emit(Instr(Op.NEWARR, a=dst, b=length))
+
+    def aload(self, dst: int, arr: int, idx: int) -> None:
+        """``dst = arr[idx]`` — a traced heap load."""
+        self._emit(Instr(Op.ALOAD, a=dst, b=arr, c=idx))
+
+    def astore(self, arr: int, idx: int, src: int) -> None:
+        """``arr[idx] = src`` — a traced heap store."""
+        self._emit(Instr(Op.ASTORE, a=arr, b=idx, c=src))
+
+    def length(self, dst: int, arr: int) -> None:
+        """``dst = len(arr)``."""
+        self._emit(Instr(Op.LEN, a=dst, b=arr))
+
+    def jmp(self, target: Label) -> None:
+        """Unconditional jump."""
+        pc = self._emit(Instr(Op.JMP))
+        self._fixups.append((pc, "a", target))
+
+    def br(self, cond: int, taken: Label, not_taken: Label) -> None:
+        """Two-target conditional branch on ``cond != 0``."""
+        pc = self._emit(Instr(Op.BR, a=cond))
+        self._fixups.append((pc, "b", taken))
+        self._fixups.append((pc, "c", not_taken))
+
+    def call(self, dst: int, name: str, args: Tuple[int, ...]) -> None:
+        """Call ``name``; ``dst=-1`` discards the return value."""
+        self._emit(Instr(Op.CALL, a=dst, name=name, args=tuple(args)))
+
+    def intrin(self, dst: int, name: str, args: Tuple[int, ...]) -> None:
+        """Call a pure intrinsic (sqrt, sin, ...)."""
+        if name not in INTRINSICS:
+            raise CodegenError("unknown intrinsic %r" % name)
+        self._emit(Instr(Op.INTRIN, a=dst, name=name, args=tuple(args)))
+
+    def ret(self, src: int = -1) -> None:
+        """Return, optionally with a value."""
+        self._emit(Instr(Op.RET, a=src))
+
+    def print_(self, src: int) -> None:
+        """Debug print of a slot."""
+        self._emit(Instr(Op.PRINT, a=src))
+
+    def nop(self) -> None:
+        """Emit a NOP (used as an annotation placeholder in tests)."""
+        self._emit(Instr(Op.NOP))
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self) -> Function:
+        """Resolve branch fix-ups and return the finished function."""
+        if self._built:
+            raise CodegenError("builder already finished")
+        for pc, field, label in self._fixups:
+            if label.pc == -1:
+                raise CodegenError(
+                    "label %d used at pc=%d but never marked"
+                    % (label.ident, pc))
+            setattr(self._fn.code[pc], field, label.pc)
+        self._built = True
+        return self._fn

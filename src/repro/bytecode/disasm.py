@@ -1,0 +1,40 @@
+"""Bytecode disassembler — renders functions and programs as text.
+
+Purely a debugging/documentation aid; examples use it to show what the
+annotating JIT inserted (the paper's Figure 5 equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Function, Program
+
+
+def disassemble_function(fn: Function) -> str:
+    """Render one function, marking branch targets with ``>``."""
+    targets = set()
+    for ins in fn.code:
+        if ins.op == Op.JMP:
+            targets.add(ins.a)
+        elif ins.op == Op.BR:
+            targets.add(ins.b)
+            targets.add(ins.c)
+    lines: List[str] = []
+    params = ", ".join(fn.slot_name(i) for i in range(fn.n_params))
+    lines.append("func %s(%s):  ; %d named locals, %d instrs"
+                 % (fn.name, params, fn.n_named, len(fn.code)))
+    for pc, ins in enumerate(fn.code):
+        marker = ">" if pc in targets else " "
+        lines.append("  %s%4d: %s" % (marker, pc, ins.render(fn.slot_names)))
+    return "\n".join(lines)
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, entry function first."""
+    parts = [disassemble_function(program.main)]
+    for name in sorted(program.functions):
+        if name != program.entry:
+            parts.append(disassemble_function(program.functions[name]))
+    return "\n\n".join(parts)

@@ -1,0 +1,150 @@
+"""Opcode definitions for the register-style bytecode ISA.
+
+The ISA is the compilation target of the minijava front-end and the input
+to the annotating JIT (:mod:`repro.jit`).  It is deliberately small: the
+TEST tracer only observes loop boundaries, heap loads/stores, and named
+local-variable accesses, so the ISA needs just enough structure to express
+realistic loop nests over scalars and one-dimensional arrays.
+
+Register model
+--------------
+Each function owns a flat file of *slots*.  Slots ``0..n_named-1`` hold the
+function's named local variables (parameters first); slots above that are
+compiler temporaries.  The distinction matters to TEST: only named locals
+in the calling context of a speculative loop are annotated with
+``LWL``/``SWL`` instructions (Section 5.1 of the paper); block-local
+temporaries never carry loop dependencies in our codegen.
+
+Annotation opcodes
+------------------
+``SLOOP``/``EOI``/``ELOOP``/``LWL``/``SWL``/``READSTATS`` mirror Table 4 of
+the paper.  They are inserted by :mod:`repro.jit.annotate`, are no-ops for
+program semantics, and cost a few cycles each (the source of the 3-25%
+profiling slowdown of Figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Every opcode understood by the interpreter and verifier."""
+
+    # -- data movement ------------------------------------------------
+    CONST = 1        # a=dst slot, imm=constant value
+    MOV = 2          # a=dst, b=src
+
+    # -- arithmetic / logic -------------------------------------------
+    BIN = 3          # sub=BinOp, a=dst, b=lhs, c=rhs
+    UN = 4           # sub=UnOp,  a=dst, b=operand
+
+    # -- heap (arrays) --------------------------------------------------
+    NEWARR = 5       # a=dst (handle), b=length slot
+    ALOAD = 6        # a=dst, b=array handle slot, c=index slot
+    ASTORE = 7       # a=array handle slot, b=index slot, c=src value slot
+    LEN = 8          # a=dst, b=array handle slot
+
+    # -- control flow ----------------------------------------------------
+    JMP = 9          # a=target pc
+    BR = 10          # a=cond slot, b=taken pc, c=not-taken pc
+    CALL = 11        # a=dst slot (-1 for void), name=callee, args=slot tuple
+    RET = 12         # a=value slot (-1 for void)
+
+    # -- intrinsics -----------------------------------------------------
+    INTRIN = 13      # name=intrinsic, a=dst, args=slot tuple
+
+    # -- tracing annotations (Table 4 of the paper) -----------------------
+    SLOOP = 20       # a=loop id, b=number of reserved local-var slots
+    EOI = 21         # a=loop id
+    ELOOP = 22       # a=loop id
+    LWL = 23         # a=local slot (annotated local-variable load)
+    SWL = 24         # a=local slot (annotated local-variable store)
+    READSTATS = 25   # a=loop id (read collected statistics from TEST)
+
+    # -- misc -----------------------------------------------------------
+    PRINT = 30       # a=value slot (debugging aid; not used by workloads)
+    NOP = 31
+
+
+class BinOp(enum.IntEnum):
+    """Sub-opcodes for :data:`Op.BIN`.  Comparisons produce 0/1 ints."""
+
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4
+    MOD = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    SHL = 9
+    SHR = 10
+    LT = 11
+    LE = 12
+    GT = 13
+    GE = 14
+    EQ = 15
+    NE = 16
+
+
+class UnOp(enum.IntEnum):
+    """Sub-opcodes for :data:`Op.UN`."""
+
+    NEG = 1
+    NOT = 2        # logical not: nonzero -> 0, zero -> 1
+    INV = 3        # bitwise complement
+    I2F = 4        # int -> float
+    F2I = 5        # float -> int (truncating)
+
+
+#: Intrinsic functions callable through :data:`Op.INTRIN`.  All are pure.
+INTRINSICS = frozenset(
+    [
+        "sqrt",
+        "sin",
+        "cos",
+        "exp",
+        "log",
+        "abs",
+        "min",
+        "max",
+        "pow",
+        "floor",
+    ]
+)
+
+#: Opcodes with no effect on architectural state (tracing annotations).
+ANNOTATION_OPS = frozenset(
+    [Op.SLOOP, Op.EOI, Op.ELOOP, Op.LWL, Op.SWL, Op.READSTATS]
+)
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset([Op.JMP, Op.BR, Op.RET])
+
+BIN_SYMBOL = {
+    BinOp.ADD: "+",
+    BinOp.SUB: "-",
+    BinOp.MUL: "*",
+    BinOp.DIV: "/",
+    BinOp.MOD: "%",
+    BinOp.AND: "&",
+    BinOp.OR: "|",
+    BinOp.XOR: "^",
+    BinOp.SHL: "<<",
+    BinOp.SHR: ">>",
+    BinOp.LT: "<",
+    BinOp.LE: "<=",
+    BinOp.GT: ">",
+    BinOp.GE: ">=",
+    BinOp.EQ: "==",
+    BinOp.NE: "!=",
+}
+
+UN_SYMBOL = {
+    UnOp.NEG: "-",
+    UnOp.NOT: "!",
+    UnOp.INV: "~",
+    UnOp.I2F: "(float)",
+    UnOp.F2I: "(int)",
+}

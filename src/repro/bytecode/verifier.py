@@ -1,0 +1,177 @@
+"""Bytecode verifier.
+
+Checks structural invariants the interpreter, CFG builder, and annotating
+JIT rely on.  Run after codegen and after every rewriting pass; a verifier
+failure always indicates a library bug, never a user-program bug.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.opcodes import ANNOTATION_OPS, INTRINSICS, BinOp, Op, UnOp
+from repro.bytecode.program import Function, Program
+from repro.errors import BytecodeError
+
+
+def verify_function(fn: Function, program: Program = None) -> None:
+    """Raise :class:`BytecodeError` if ``fn`` is malformed.
+
+    Invariants checked:
+
+    * code is non-empty and every path ends in a terminator (the last
+      instruction is ``RET``/``JMP``/``BR`` so the pc never falls off);
+    * branch targets are in range;
+    * slot operands are non-negative where required;
+    * BIN/UN sub-opcodes are valid;
+    * CALL targets exist when ``program`` is provided;
+    * intrinsic names are known;
+    * annotation instructions reference plausible loop ids / slots.
+    """
+    code = fn.code
+    if not code:
+        raise BytecodeError("%s: empty function body" % fn.name)
+    n = len(code)
+    last = code[-1]
+    if last.op not in (Op.RET, Op.JMP, Op.BR):
+        raise BytecodeError(
+            "%s: falls off the end (last op %s)" % (fn.name, last.op.name))
+
+    def check_target(pc: int, target: int) -> None:
+        if not 0 <= target < n:
+            raise BytecodeError(
+                "%s: pc=%d branch target %d out of range [0,%d)"
+                % (fn.name, pc, target, n))
+
+    def check_slot(pc: int, slot: int, what: str) -> None:
+        if slot < 0:
+            raise BytecodeError(
+                "%s: pc=%d negative %s slot %d" % (fn.name, pc, what, slot))
+
+    for pc, ins in enumerate(code):
+        op = ins.op
+        if op == Op.CONST:
+            check_slot(pc, ins.a, "dst")
+            if not isinstance(ins.imm, (int, float)):
+                raise BytecodeError(
+                    "%s: pc=%d CONST immediate %r is not a number"
+                    % (fn.name, pc, ins.imm))
+        elif op == Op.MOV:
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "src")
+        elif op == Op.BIN:
+            try:
+                BinOp(ins.sub)
+            except ValueError:
+                raise BytecodeError(
+                    "%s: pc=%d bad BIN sub-opcode %d"
+                    % (fn.name, pc, ins.sub)) from None
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "lhs")
+            check_slot(pc, ins.c, "rhs")
+        elif op == Op.UN:
+            try:
+                UnOp(ins.sub)
+            except ValueError:
+                raise BytecodeError(
+                    "%s: pc=%d bad UN sub-opcode %d"
+                    % (fn.name, pc, ins.sub)) from None
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "src")
+        elif op == Op.NEWARR:
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "length")
+        elif op == Op.ALOAD:
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "array")
+            check_slot(pc, ins.c, "index")
+        elif op == Op.ASTORE:
+            check_slot(pc, ins.a, "array")
+            check_slot(pc, ins.b, "index")
+            check_slot(pc, ins.c, "src")
+        elif op == Op.LEN:
+            check_slot(pc, ins.a, "dst")
+            check_slot(pc, ins.b, "array")
+        elif op == Op.JMP:
+            check_target(pc, ins.a)
+        elif op == Op.BR:
+            check_slot(pc, ins.a, "cond")
+            check_target(pc, ins.b)
+            check_target(pc, ins.c)
+        elif op == Op.CALL:
+            if program is not None and ins.name not in program.functions:
+                raise BytecodeError(
+                    "%s: pc=%d call to unknown function %r"
+                    % (fn.name, pc, ins.name))
+            if program is not None:
+                callee = program.functions.get(ins.name)
+                if callee is not None and len(ins.args) != callee.n_params:
+                    raise BytecodeError(
+                        "%s: pc=%d call to %s with %d args, expects %d"
+                        % (fn.name, pc, ins.name, len(ins.args),
+                           callee.n_params))
+            for slot in ins.args:
+                check_slot(pc, slot, "arg")
+        elif op == Op.INTRIN:
+            if ins.name not in INTRINSICS:
+                raise BytecodeError(
+                    "%s: pc=%d unknown intrinsic %r"
+                    % (fn.name, pc, ins.name))
+            check_slot(pc, ins.a, "dst")
+            for slot in ins.args:
+                check_slot(pc, slot, "arg")
+        elif op == Op.RET:
+            pass  # a may be -1 (void)
+        elif op in (Op.SLOOP, Op.EOI, Op.ELOOP, Op.READSTATS):
+            if ins.a < 0:
+                raise BytecodeError(
+                    "%s: pc=%d annotation with negative loop id"
+                    % (fn.name, pc))
+        elif op in (Op.LWL, Op.SWL):
+            check_slot(pc, ins.a, "local")
+            if ins.a >= fn.n_named:
+                raise BytecodeError(
+                    "%s: pc=%d %s annotates temporary slot %d"
+                    % (fn.name, pc, op.name, ins.a))
+        elif op == Op.PRINT:
+            check_slot(pc, ins.a, "src")
+        elif op == Op.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over Op
+            raise BytecodeError(
+                "%s: pc=%d unknown opcode %r" % (fn.name, pc, op))
+
+    _check_loop_annotations(fn)
+
+
+def _check_loop_annotations(fn: Function) -> None:
+    """SLOOP/ELOOP must reference consistent loop ids.
+
+    The tracer requires that every ``EOI``/``ELOOP``/``READSTATS`` names a
+    loop id that some ``SLOOP`` in the same function also names.  (Proper
+    nesting is a dynamic property enforced by the TEST device itself.)
+    """
+    started = set()
+    referenced: List[tuple] = []
+    for pc, ins in enumerate(fn.code):
+        if ins.op == Op.SLOOP:
+            started.add(ins.a)
+        elif ins.op in (Op.EOI, Op.ELOOP, Op.READSTATS):
+            referenced.append((pc, ins.op, ins.a))
+    for pc, op, loop_id in referenced:
+        if loop_id not in started:
+            raise BytecodeError(
+                "%s: pc=%d %s references loop L%d with no SLOOP"
+                % (fn.name, pc, op.name, loop_id))
+
+
+def verify_program(program: Program) -> None:
+    """Verify every function plus program-level invariants."""
+    if program.entry not in program.functions:
+        raise BytecodeError("missing entry function %r" % program.entry)
+    entry = program.functions[program.entry]
+    if entry.n_params != 0:
+        raise BytecodeError(
+            "entry function %r must take no parameters" % program.entry)
+    for fn in program.functions.values():
+        verify_function(fn, program)

@@ -1,0 +1,32 @@
+"""Control-flow analysis substrate: CFGs, dominators, natural loops,
+scalar loop-carried dependence classification, and STL candidate
+identification (Section 4.1 of the paper)."""
+
+from repro.cfg.candidates import (
+    CandidateTable,
+    FunctionLoops,
+    STLCandidate,
+    find_candidates,
+)
+from repro.cfg.dominators import DominatorTree, compute_dominators
+from repro.cfg.graph import CFG, Block, build_cfg
+from repro.cfg.natural_loops import Loop, LoopForest, find_loops
+from repro.cfg.scalar_deps import DepClass, LoopScalarInfo, analyze_loop
+
+__all__ = [
+    "Block",
+    "CFG",
+    "CandidateTable",
+    "DepClass",
+    "DominatorTree",
+    "FunctionLoops",
+    "Loop",
+    "LoopForest",
+    "LoopScalarInfo",
+    "STLCandidate",
+    "analyze_loop",
+    "build_cfg",
+    "compute_dominators",
+    "find_candidates",
+    "find_loops",
+]

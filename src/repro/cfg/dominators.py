@@ -1,0 +1,83 @@
+"""Dominator computation (Cooper–Harvey–Kennedy).
+
+Natural-loop identification (Section 4.1 of the paper cites Muchnick's
+textbook definition) needs dominators: a back edge is an edge ``n -> h``
+where ``h`` dominates ``n``.  We use the simple-and-fast iterative
+algorithm of Cooper, Harvey and Kennedy over reverse postorder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator map plus convenience queries."""
+
+    def __init__(self, idom: Dict[int, Optional[int]], rpo: List[int]):
+        self.idom = idom
+        self._rpo_index = {bid: i for i, bid in enumerate(rpo)}
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether ``a`` dominates ``b`` (every node dominates itself)."""
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def dominators_of(self, b: int) -> List[int]:
+        """All dominators of ``b``, innermost (``b`` itself) first."""
+        out: List[int] = []
+        node: Optional[int] = b
+        while node is not None:
+            out.append(node)
+            node = self.idom[node]
+        return out
+
+    def depth(self, b: int) -> int:
+        """Distance from the entry in the dominator tree."""
+        return len(self.dominators_of(b)) - 1
+
+
+def compute_dominators(cfg: CFG) -> DominatorTree:
+    """Compute the dominator tree of the reachable part of ``cfg``."""
+    rpo = cfg.reverse_postorder()
+    index = {bid: i for i, bid in enumerate(rpo)}
+    preds_all = cfg.predecessors_map()
+    # only reachable predecessors participate
+    preds = {bid: [p for p in preds_all[bid] if p in index] for bid in rpo}
+
+    idom: Dict[int, Optional[int]] = {bid: None for bid in rpo}
+    entry = cfg.entry
+    idom[entry] = entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in rpo:
+            if bid == entry:
+                continue
+            new_idom: Optional[int] = None
+            for p in preds[bid]:
+                if idom[p] is None:
+                    continue
+                new_idom = p if new_idom is None \
+                    else intersect(p, new_idom)
+            if new_idom is not None and idom[bid] != new_idom:
+                idom[bid] = new_idom
+                changed = True
+
+    idom[entry] = None  # canonical form: the entry has no idom
+    return DominatorTree(idom, rpo)

@@ -1,0 +1,248 @@
+"""Control-flow graphs over bytecode functions.
+
+The Jrpm compiler "derives a control-flow graph from program bytecodes
+and analyzes it to identify potential STLs" (Section 3).  This module
+builds that CFG, supports the edge-splitting mutations the annotating
+JIT needs (inserting ``SLOOP``/``EOI``/``ELOOP`` blocks on loop entry,
+back, and exit edges), and linearizes a mutated CFG back into a flat
+instruction list.
+
+Because every block in our codegen ends with an explicit terminator
+(``JMP``/``BR``/``RET`` — there is no implicit fallthrough), linearization
+is order-independent: blocks are concatenated and branch targets
+rewritten to block start pcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Function
+from repro.errors import BytecodeError
+
+
+class Block:
+    """A basic block: a non-empty instruction list ending in a terminator."""
+
+    __slots__ = ("bid", "instrs")
+
+    def __init__(self, bid: int, instrs: List[Instr]):
+        self.bid = bid
+        self.instrs = instrs
+
+    @property
+    def terminator(self) -> Instr:
+        return self.instrs[-1]
+
+    def successor_ids_raw(self) -> List[int]:
+        """Branch targets encoded in the terminator (as block ids once the
+        CFG has rewritten them — see :class:`CFG`)."""
+        term = self.terminator
+        if term.op == Op.JMP:
+            return [term.a]
+        if term.op == Op.BR:
+            if term.b == term.c:
+                return [term.b]
+            return [term.b, term.c]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Block %d: %d instrs>" % (self.bid, len(self.instrs))
+
+
+class CFG:
+    """A mutable control-flow graph for one function.
+
+    Inside the CFG, ``JMP``/``BR`` targets hold **block ids**, not pcs;
+    :meth:`linearize` converts back.  Successor order of a ``BR`` is
+    (taken, not-taken).
+    """
+
+    def __init__(self, name: str, blocks: Dict[int, Block], entry: int,
+                 template: Function):
+        self.name = name
+        self.blocks = blocks
+        self.entry = entry
+        self._template = template
+        self._next_bid = max(blocks) + 1 if blocks else 0
+
+    # -- queries ---------------------------------------------------------
+
+    def successors(self, bid: int) -> List[int]:
+        """Successor block ids, in terminator order."""
+        return self.blocks[bid].successor_ids_raw()
+
+    def predecessors_map(self) -> Dict[int, List[int]]:
+        """Map block id -> predecessor ids (recomputed on each call)."""
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for bid in self.blocks:
+            for succ in self.successors(bid):
+                preds[succ].append(bid)
+        return preds
+
+    def reachable(self) -> Set[int]:
+        """Blocks reachable from the entry."""
+        seen: Set[int] = set()
+        work = [self.entry]
+        while work:
+            bid = work.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            work.extend(self.successors(bid))
+        return seen
+
+    def reverse_postorder(self) -> List[int]:
+        """Reverse postorder over reachable blocks (entry first)."""
+        seen: Set[int] = set()
+        post: List[int] = []
+
+        # iterative DFS to avoid recursion limits on long chains
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        succ_cache: Dict[int, List[int]] = {}
+        while stack:
+            bid, idx = stack[-1]
+            succs = succ_cache.get(bid)
+            if succs is None:
+                succs = self.successors(bid)
+                succ_cache[bid] = succs
+            if idx < len(succs):
+                stack[-1] = (bid, idx + 1)
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                post.append(bid)
+                stack.pop()
+        post.reverse()
+        return post
+
+    # -- mutation ----------------------------------------------------------
+
+    def new_block(self, instrs: List[Instr]) -> int:
+        """Add a fresh block; returns its id."""
+        bid = self._next_bid
+        self._next_bid += 1
+        self.blocks[bid] = Block(bid, instrs)
+        return bid
+
+    def split_edge(self, src: int, dst: int,
+                   payload: List[Instr]) -> int:
+        """Insert a block containing ``payload`` on the edge src -> dst.
+
+        The payload must not contain a terminator; a ``JMP dst`` is
+        appended.  Returns the new block's id.  If ``src`` branches to
+        ``dst`` on both arms of a ``BR``, both are redirected.
+        """
+        for ins in payload:
+            if ins.op in (Op.JMP, Op.BR, Op.RET):
+                raise BytecodeError(
+                    "split_edge payload may not contain terminators")
+        mid = self.new_block(list(payload) + [Instr(Op.JMP, a=dst)])
+        term = self.blocks[src].terminator
+        redirected = False
+        if term.op == Op.JMP and term.a == dst:
+            term.a = mid
+            redirected = True
+        elif term.op == Op.BR:
+            if term.b == dst:
+                term.b = mid
+                redirected = True
+            if term.c == dst:
+                term.c = mid
+                redirected = True
+        if not redirected:
+            raise BytecodeError(
+                "no edge %d -> %d to split" % (src, dst))
+        return mid
+
+    def insert_before_terminator(self, bid: int,
+                                 payload: Iterable[Instr]) -> None:
+        """Append ``payload`` just before the block's terminator."""
+        block = self.blocks[bid]
+        term = block.instrs.pop()
+        block.instrs.extend(payload)
+        block.instrs.append(term)
+
+    # -- conversion --------------------------------------------------------
+
+    def linearize(self) -> Function:
+        """Flatten back to a Function (drops unreachable blocks)."""
+        order = self.reverse_postorder()
+        start_pc: Dict[int, int] = {}
+        pc = 0
+        for bid in order:
+            start_pc[bid] = pc
+            pc += len(self.blocks[bid].instrs)
+        fn = Function(self.name, self._template.n_params)
+        fn.n_named = self._template.n_named
+        fn.slot_names = dict(self._template.slot_names)
+        for bid in order:
+            for ins in self.blocks[bid].instrs:
+                copy = ins.copy()
+                if copy.op == Op.JMP:
+                    copy.a = start_pc[copy.a]
+                elif copy.op == Op.BR:
+                    copy.b = start_pc[copy.b]
+                    copy.c = start_pc[copy.c]
+                fn.code.append(copy)
+        return fn
+
+
+def build_cfg(fn: Function) -> CFG:
+    """Partition ``fn`` into basic blocks and build its CFG.
+
+    Leaders: pc 0, every branch target, and every instruction following a
+    terminator.  Inside the CFG, branch targets are rewritten from pcs to
+    block ids.
+    """
+    if not fn.code:
+        raise BytecodeError("%s: cannot build CFG of empty function"
+                            % fn.name)
+    leaders: Set[int] = {0}
+    for pc, ins in enumerate(fn.code):
+        if ins.op == Op.JMP:
+            leaders.add(ins.a)
+            if pc + 1 < len(fn.code):
+                leaders.add(pc + 1)
+        elif ins.op == Op.BR:
+            leaders.add(ins.b)
+            leaders.add(ins.c)
+            if pc + 1 < len(fn.code):
+                leaders.add(pc + 1)
+        elif ins.op == Op.RET:
+            if pc + 1 < len(fn.code):
+                leaders.add(pc + 1)
+
+    sorted_leaders = sorted(leaders)
+    block_of_pc: Dict[int, int] = {}
+    spans: List[Tuple[int, int]] = []
+    for i, start in enumerate(sorted_leaders):
+        end = sorted_leaders[i + 1] if i + 1 < len(sorted_leaders) \
+            else len(fn.code)
+        spans.append((start, end))
+        block_of_pc[start] = i
+
+    blocks: Dict[int, Block] = {}
+    for bid, (start, end) in enumerate(spans):
+        instrs = [ins.copy() for ins in fn.code[start:end]]
+        last = instrs[-1]
+        if last.op not in (Op.JMP, Op.BR, Op.RET):
+            # block flows into the next leader: make the edge explicit
+            instrs.append(Instr(Op.JMP, a=end))
+        blocks[bid] = Block(bid, instrs)
+
+    # rewrite branch targets from pcs to block ids
+    for block in blocks.values():
+        term = block.terminator
+        if term.op == Op.JMP:
+            term.a = block_of_pc[term.a]
+        elif term.op == Op.BR:
+            term.b = block_of_pc[term.b]
+            term.c = block_of_pc[term.c]
+
+    return CFG(fn.name, blocks, entry=0, template=fn)

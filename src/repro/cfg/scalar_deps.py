@@ -1,0 +1,277 @@
+"""Scalar analysis of loop-carried local-variable dependencies.
+
+Section 4.1: "Loops are chosen optimistically... Loop inductors, which
+are dependencies that can be eliminated by the compiler, are ignored so
+that potentially parallel loops are not overlooked.  Scalar analysis is
+used to identify simple dependencies, but we forgo advanced techniques."
+
+This module classifies, for every (loop, named local slot) pair:
+
+* ``INDUCTOR`` — a single ``x = x ± const`` update (the compiler turns
+  these into non-violating loop inductors);
+* ``REDUCTION`` — a single ``x = x + e`` / ``x = x * e`` /
+  ``x = min/max(x, e)`` accumulation (Table 2: completed at shutdown);
+* ``CARRIED`` — some other loop-carried scalar dependence (an
+  upward-exposed read plus a write inside the loop);
+* ``NONE`` — no loop-carried dependence through this local.
+
+It also flags the rare *serializing* pattern the paper excludes
+statically: a single-block loop whose only work is a whole-body
+recurrence on one local (e.g. a bare pointer chase ``x = a[x]``).
+Everything else stays a candidate — TEST measures the real arcs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import BinOp, Op
+from repro.cfg.graph import CFG
+from repro.cfg.natural_loops import Loop
+
+
+class DepClass(enum.Enum):
+    """Classification of a local's loop-carried behaviour in a loop."""
+
+    NONE = "none"
+    INDUCTOR = "inductor"
+    REDUCTION = "reduction"
+    CARRIED = "carried"
+
+
+def _writes_of(ins: Instr) -> Optional[int]:
+    """The slot ``ins`` writes, or None."""
+    op = ins.op
+    if op in (Op.CONST, Op.MOV, Op.BIN, Op.UN, Op.NEWARR, Op.ALOAD,
+              Op.LEN, Op.INTRIN):
+        return ins.a
+    if op == Op.CALL and ins.a >= 0:
+        return ins.a
+    return None
+
+
+def _reads_of(ins: Instr) -> List[int]:
+    """The slots ``ins`` reads."""
+    op = ins.op
+    if op == Op.MOV:
+        return [ins.b]
+    if op == Op.BIN:
+        return [ins.b, ins.c]
+    if op == Op.UN:
+        return [ins.b]
+    if op == Op.NEWARR:
+        return [ins.b]
+    if op == Op.ALOAD:
+        return [ins.b, ins.c]
+    if op == Op.ASTORE:
+        return [ins.a, ins.b, ins.c]
+    if op == Op.LEN:
+        return [ins.b]
+    if op == Op.BR:
+        return [ins.a]
+    if op == Op.RET:
+        return [ins.a] if ins.a >= 0 else []
+    if op in (Op.CALL, Op.INTRIN):
+        return list(ins.args)
+    if op == Op.PRINT:
+        return [ins.a]
+    return []
+
+
+class LoopScalarInfo:
+    """Per-loop scalar facts used by candidates, annotation, and the
+    speculative compiler."""
+
+    def __init__(self, loop: Loop,
+                 accessed: Set[int],
+                 classes: Dict[int, DepClass],
+                 serializing: bool):
+        self.loop = loop
+        #: named slots read or written anywhere in the loop
+        self.accessed = accessed
+        #: DepClass per accessed slot
+        self.classes = classes
+        self.serializing = serializing
+
+    def slots_of(self, dep_class: DepClass) -> List[int]:
+        """Accessed slots with the given classification, sorted."""
+        return sorted(s for s, c in self.classes.items() if c is dep_class)
+
+    @property
+    def inductors(self) -> List[int]:
+        return self.slots_of(DepClass.INDUCTOR)
+
+    @property
+    def reductions(self) -> List[int]:
+        return self.slots_of(DepClass.REDUCTION)
+
+    @property
+    def carried(self) -> List[int]:
+        return self.slots_of(DepClass.CARRIED)
+
+
+def _const_defined_slots(instrs: List[Instr]) -> Set[int]:
+    """Slots assigned only by CONST instructions within ``instrs``."""
+    const_slots: Set[int] = set()
+    dirty: Set[int] = set()
+    for ins in instrs:
+        w = _writes_of(ins)
+        if w is None:
+            continue
+        if ins.op == Op.CONST:
+            if w not in dirty:
+                const_slots.add(w)
+        else:
+            const_slots.discard(w)
+            dirty.add(w)
+    return const_slots
+
+
+def analyze_loop(cfg: CFG, loop: Loop, n_named: int,
+                 dom=None) -> LoopScalarInfo:
+    """Classify every named local accessed inside ``loop``.
+
+    ``dom`` (a :class:`~repro.cfg.dominators.DominatorTree`) enables the
+    precise inductor test: an update only qualifies if it executes
+    exactly once per iteration — its block dominates every latch and
+    lies in no nested loop.  Without ``dom`` the test degrades to the
+    once-per-iteration blocks being unknown, so only single-block loops
+    recognize inductors (tests exercise both paths).
+    """
+    loop_instrs: List[Instr] = []
+    block_instrs: Dict[int, List[Instr]] = {}
+    for bid in sorted(loop.blocks):
+        instrs = cfg.blocks[bid].instrs
+        block_instrs[bid] = instrs
+        loop_instrs.extend(instrs)
+
+    accessed: Set[int] = set()
+    defs: Dict[int, List[Instr]] = {}
+    def_blocks: Dict[int, Set[int]] = {}
+    read_outside_def: Set[int] = set()
+    upward_use: Set[int] = set()
+
+    for bid, instrs in block_instrs.items():
+        written_here: Set[int] = set()
+        for ins in instrs:
+            w = _writes_of(ins)
+            for r in _reads_of(ins):
+                if r < n_named:
+                    accessed.add(r)
+                    if r not in written_here:
+                        upward_use.add(r)
+                    if r != w:
+                        read_outside_def.add(r)
+            if w is not None and w < n_named:
+                accessed.add(w)
+                written_here.add(w)
+                defs.setdefault(w, []).append(ins)
+                def_blocks.setdefault(w, set()).add(bid)
+
+    const_slots = _const_defined_slots(loop_instrs)
+
+    # blocks belonging to a loop nested inside this one
+    nested_blocks: Set[int] = set()
+    for child in loop.children:
+        nested_blocks |= child.blocks
+
+    def executes_once_per_iteration(bid: int) -> bool:
+        if bid in nested_blocks:
+            return False
+        if dom is None:
+            return bid == loop.header
+        return all(dom.dominates(bid, latch)
+                   for latch in loop.back_edge_sources)
+
+    classes: Dict[int, DepClass] = {}
+    for slot in accessed:
+        slot_defs = defs.get(slot, [])
+        if not slot_defs or slot not in upward_use:
+            classes[slot] = DepClass.NONE
+            continue
+        blocks = def_blocks.get(slot, set())
+        once = all(executes_once_per_iteration(b) for b in blocks)
+        if len(slot_defs) == 1 and once and _is_inductor_def(
+                slot_defs[0], slot, const_slots):
+            classes[slot] = DepClass.INDUCTOR
+        elif all(_is_reduction_def(d, slot) for d in slot_defs) \
+                and slot not in read_outside_def:
+            classes[slot] = DepClass.REDUCTION
+        else:
+            classes[slot] = DepClass.CARRIED
+
+    serializing = _is_serializing(cfg, loop, block_instrs, classes, n_named)
+    return LoopScalarInfo(loop, accessed, classes, serializing)
+
+
+def _is_inductor_def(ins: Instr, slot: int, const_slots: Set[int]) -> bool:
+    """``slot = slot ± const``."""
+    if ins.op != Op.BIN:
+        return False
+    if ins.sub == BinOp.ADD:
+        if ins.b == slot and ins.c in const_slots:
+            return True
+        if ins.c == slot and ins.b in const_slots:
+            return True
+        return False
+    if ins.sub == BinOp.SUB:
+        return ins.b == slot and ins.c in const_slots
+    return False
+
+
+def _is_reduction_def(ins: Instr, slot: int) -> bool:
+    """``slot = slot + e``, ``slot = slot - e``, ``slot = slot * e``,
+    or ``slot = min/max(slot, e)``."""
+    if ins.op == Op.BIN:
+        if ins.sub in (BinOp.ADD, BinOp.MUL):
+            return ins.b == slot or ins.c == slot
+        if ins.sub == BinOp.SUB:
+            return ins.b == slot
+        return False
+    if ins.op == Op.INTRIN and ins.name in ("min", "max"):
+        return slot in ins.args
+    return False
+
+
+def _is_serializing(cfg: CFG, loop: Loop,
+                    block_instrs: Dict[int, List[Instr]],
+                    classes: Dict[int, DepClass],
+                    n_named: int) -> bool:
+    """The bare whole-body recurrence pattern (see module docstring).
+
+    Only single-body-block loops qualify, and only when a CARRIED local's
+    first touch is an upward-exposed read near the top and its last
+    definition sits near the bottom, spanning essentially the whole
+    iteration (arc length ~ thread size => no speculation win possible).
+    """
+    carried = [s for s, c in classes.items() if c is DepClass.CARRIED]
+    if not carried:
+        return False
+    body_blocks = [bid for bid in loop.blocks]
+    if len(body_blocks) > 2:   # header + at most one latch block
+        return False
+    instrs: List[Instr] = []
+    for bid in sorted(body_blocks):
+        instrs.extend(block_instrs[bid])
+    useful = [i for i in instrs
+              if i.op not in (Op.JMP, Op.BR, Op.NOP)]
+    if not useful:
+        return False
+    for slot in carried:
+        first_read = None
+        last_def = None
+        for idx, ins in enumerate(useful):
+            if first_read is None and slot in _reads_of(ins):
+                first_read = idx
+            if _writes_of(ins) == slot:
+                last_def = idx
+        if first_read is None or last_def is None:
+            continue
+        if first_read > last_def:
+            continue  # read after def: not upward-spanning here
+        span = last_def - first_read + 1
+        if span >= 0.75 * len(useful):
+            return True  # one whole-body recurrence serializes the loop
+    return False

@@ -1,0 +1,69 @@
+"""Shared exception hierarchy for the TEST/Jrpm reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error attributable to a position in minijava source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "line %d, col %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """The lexer encountered a malformed token."""
+
+
+class ParseError(SourceError):
+    """The parser encountered an unexpected token."""
+
+
+class SemanticError(SourceError):
+    """Semantic analysis rejected the program (types, scopes, arity)."""
+
+
+class CodegenError(ReproError):
+    """Bytecode generation failed (internal invariant violation)."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode detected by the verifier or loader."""
+
+
+class ExecutionError(ReproError):
+    """The interpreter hit a runtime fault (bad index, div by zero...)."""
+
+    def __init__(self, message: str, pc: int = -1, function: str = ""):
+        self.pc = pc
+        self.function = function
+        if function:
+            message = "%s (in %s at pc=%d)" % (message, function, pc)
+        super().__init__(message)
+
+
+class HeapError(ExecutionError):
+    """Out-of-bounds access or invalid array handle."""
+
+
+class TracerError(ReproError):
+    """The TEST device was driven with an invalid event sequence."""
+
+
+class SimulationError(ReproError):
+    """The TLS timing simulator was given an inconsistent trace."""
+
+
+class PipelineError(ReproError):
+    """The Jrpm pipeline could not complete a stage."""

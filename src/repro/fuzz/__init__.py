@@ -1,0 +1,5 @@
+"""Random-program generation for differential testing of the stack."""
+
+from repro.fuzz.generator import ProgramGenerator, generate_program
+
+__all__ = ["ProgramGenerator", "generate_program"]

@@ -1,0 +1,22 @@
+"""Hydra CMP machine model: configuration (Tables 1 & 2), speculative
+buffer models, and the Table 5 transistor budget."""
+
+from repro.hydra.cache import FullyAssocBuffer, SetAssocCache
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.hydra.transistors import (
+    TransistorBudget,
+    TransistorRow,
+    comparator_bank_transistors,
+    write_buffer_transistors,
+)
+
+__all__ = [
+    "DEFAULT_HYDRA",
+    "FullyAssocBuffer",
+    "HydraConfig",
+    "SetAssocCache",
+    "TransistorBudget",
+    "TransistorRow",
+    "comparator_bank_transistors",
+    "write_buffer_transistors",
+]

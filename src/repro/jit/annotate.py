@@ -1,0 +1,296 @@
+"""The annotating JIT pass (paper Sections 3.2, 5.1, Figure 5, Table 4).
+
+Takes a compiled program plus the STL candidate table and produces a new
+program with tracing annotations inserted:
+
+* ``SLOOP id, n`` on every entry edge of a candidate loop;
+* ``EOI id`` on every back edge;
+* ``ELOOP id`` on every exit edge (and before in-loop ``RET``s, which
+  exit every enclosing loop at once);
+* ``LWL slot`` before reads and ``SWL slot`` after writes of the loop's
+  tracked named locals;
+* ``READSTATS id`` after loop exit, to drain the comparator-bank
+  counters.
+
+Two annotation levels reproduce Figure 6's two bars per benchmark:
+
+* ``BASE`` — annotate every local read; read statistics at every loop
+  exit.
+* ``OPTIMIZED`` — the paper's JIT optimizations: only the first local
+  read per basic block is annotated (it forms the shortest — critical —
+  arc), and statistics reads are hoisted to the outermost loop of a
+  single-child nest chain.
+
+All insertions are computed on the pristine CFG first and applied in one
+pass, so edge bookkeeping never sees a half-mutated graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Function, Program
+from repro.bytecode.verifier import verify_program
+from repro.cfg.candidates import CandidateTable, STLCandidate
+from repro.cfg.graph import CFG, build_cfg
+from repro.cfg.scalar_deps import _reads_of, _writes_of
+
+
+class AnnotationLevel(enum.Enum):
+    """How aggressively to annotate (Figure 6's two configurations)."""
+
+    BASE = "base"
+    OPTIMIZED = "optimized"
+
+
+class AnnotatedProgram:
+    """Result of the annotation pass."""
+
+    def __init__(self, program: Program, level: AnnotationLevel,
+                 annotated_loops: Dict[int, STLCandidate]):
+        #: the instrumented program (run this with a tracer attached)
+        self.program = program
+        self.level = level
+        #: loop id -> candidate, for every loop that received annotations
+        self.annotated_loops = annotated_loops
+
+
+def annotate_program(program: Program, table: CandidateTable,
+                     level: AnnotationLevel = AnnotationLevel.OPTIMIZED,
+                     loops: Optional[Iterable[int]] = None
+                     ) -> AnnotatedProgram:
+    """Instrument ``program`` for TEST profiling.
+
+    ``loops`` restricts annotation to the given loop ids (default: every
+    non-excluded candidate).  Functions without selected loops are
+    copied untouched.
+    """
+    selected: Set[int] = set(
+        loops if loops is not None
+        else (c.loop_id for c in table.candidates()))
+    selected &= {c.loop_id for c in table.candidates()}  # drop excluded
+
+    out = Program(entry=program.entry)
+    annotated: Dict[int, STLCandidate] = {}
+    for name in program.functions:
+        fn = program.functions[name]
+        floops = table.by_function.get(name)
+        wanted = [] if floops is None else [
+            c for c in floops.candidates
+            if c.loop_id in selected]
+        if not wanted:
+            out.add(_copy_function(fn))
+            continue
+        out.add(_annotate_function(fn, wanted, level))
+        for cand in wanted:
+            annotated[cand.loop_id] = cand
+    verify_program(out)
+    return AnnotatedProgram(out, level, annotated)
+
+
+def _copy_function(fn: Function) -> Function:
+    new = Function(fn.name, fn.n_params)
+    new.n_named = fn.n_named
+    new.slot_names = dict(fn.slot_names)
+    new.code = [ins.copy() for ins in fn.code]
+    return new
+
+
+def _annotate_function(fn: Function, cands: List[STLCandidate],
+                       level: AnnotationLevel) -> Function:
+    cfg = build_cfg(fn)
+
+    # ---- plan edge payloads on the pristine graph -----------------------
+    # payload priority: ELOOP(+READSTATS) < EOI < SLOOP so that an edge
+    # that simultaneously exits an inner loop and latches an outer loop
+    # fires events in dynamic order.
+    edge_payloads: Dict[Tuple[int, int], List[Tuple[int, Instr]]] = {}
+    block_pre_ret: Dict[int, List[Tuple[int, Instr]]] = {}
+
+    readstats_home = _plan_readstats_homes(cands, level)
+
+    # sort so ELOOPs of deeper loops precede shallower ones on shared sites
+    for cand in sorted(cands, key=lambda c: -c.depth):
+        loop = cand.loop
+        lid = cand.loop_id
+        exit_payload = [Instr(Op.ELOOP, a=lid)]
+        for rid in readstats_home.get(lid, ()):
+            exit_payload.append(Instr(Op.READSTATS, a=rid))
+        for src, dst in loop.exit_edges(cfg):
+            edge_payloads.setdefault((src, dst), []).extend(
+                (0, ins) for ins in exit_payload)
+        # a RET inside the loop exits it too
+        for bid in sorted(loop.blocks):
+            if cfg.blocks[bid].terminator.op == Op.RET:
+                block_pre_ret.setdefault(bid, []).extend(
+                    (0, ins.copy()) for ins in exit_payload)
+
+    for cand in cands:
+        loop = cand.loop
+        lid = cand.loop_id
+        for src, dst in loop.back_edges():
+            edge_payloads.setdefault((src, dst), []).append(
+                (1, Instr(Op.EOI, a=lid)))
+
+    needs_synthetic_entry = False
+    for cand in sorted(cands, key=lambda c: c.depth):
+        loop = cand.loop
+        lid = cand.loop_id
+        sloop = Instr(Op.SLOOP, a=lid, b=len(cand.tracked_locals))
+        if loop.header == cfg.entry:
+            # function entry falls straight into the loop header: a
+            # synthetic entry block carries the SLOOP (added at the end)
+            needs_synthetic_entry = True
+        for src, dst in loop.entry_edges(cfg):
+            edge_payloads.setdefault((src, dst), []).append((2, sloop.copy()))
+
+    # ---- local-variable annotations inside blocks ----------------------
+    tracked_of_block: Dict[int, Set[int]] = {}
+    for cand in cands:
+        slots = set(cand.tracked_locals)
+        for bid in cand.loop.blocks:
+            tracked_of_block.setdefault(bid, set()).update(slots)
+    for bid, slots in tracked_of_block.items():
+        _instrument_block(cfg.blocks[bid].instrs, slots, level)
+    if level is AnnotationLevel.OPTIMIZED:
+        _drop_dominated_loads(cfg, cands)
+
+    # ---- apply RET-exit payloads ---------------------------------------
+    for bid, payload in block_pre_ret.items():
+        ordered = [ins for _prio, ins in
+                   sorted(payload, key=lambda t: t[0])]
+        cfg.insert_before_terminator(bid, ordered)
+
+    # ---- apply edge payloads --------------------------------------------
+    # When the source block ends in an unconditional JMP, the edge is its
+    # only successor and the payload can sit inline before the jump — no
+    # extra block, no extra jump per iteration (the hardware's annotation
+    # instructions are likewise inline, Figure 5).  Conditional edges are
+    # split.
+    for (src, dst), payload in edge_payloads.items():
+        ordered = [ins for _prio, ins in
+                   sorted(payload, key=lambda t: t[0])]
+        term = cfg.blocks[src].terminator
+        if term.op == Op.JMP and term.a == dst:
+            cfg.insert_before_terminator(src, ordered)
+        else:
+            cfg.split_edge(src, dst, ordered)
+
+    # ---- synthetic entry block for loops headed at the entry ------------
+    if needs_synthetic_entry:
+        payload: List[Instr] = []
+        for cand in sorted(cands, key=lambda c: c.depth):
+            if cand.loop.header == cfg.entry:
+                payload.append(Instr(Op.SLOOP, a=cand.loop_id,
+                                     b=len(cand.tracked_locals)))
+        new_entry = cfg.new_block(payload + [Instr(Op.JMP, a=cfg.entry)])
+        cfg.entry = new_entry
+
+    return cfg.linearize()
+
+
+def _plan_readstats_homes(cands: List[STLCandidate],
+                          level: AnnotationLevel
+                          ) -> Dict[int, List[int]]:
+    """Which loop's exits read which loops' statistics.
+
+    BASE: each loop reads its own statistics at its own exits.
+    OPTIMIZED: within a chain of single-child nesting, all reads are
+    hoisted to the outermost loop of the chain (the paper's hoisting
+    optimization); forks in the nest stop the hoist.
+    """
+    by_id = {c.loop_id: c for c in cands}
+    homes: Dict[int, List[int]] = {}
+    if level is AnnotationLevel.BASE:
+        for c in cands:
+            homes.setdefault(c.loop_id, []).append(c.loop_id)
+        return homes
+    for c in cands:
+        home = c
+        while home.parent_id in by_id:
+            parent = by_id[home.parent_id]
+            if len([k for k in parent.child_ids if k in by_id]) != 1:
+                break
+            home = parent
+        homes.setdefault(home.loop_id, []).append(c.loop_id)
+    return homes
+
+
+def _drop_dominated_loads(cfg: CFG, cands: List[STLCandidate]) -> None:
+    """The paper's "first load in a block **or a loop**" optimization.
+
+    Within one loop, if a block A strictly dominates block B (and both
+    belong to the loop), every same-iteration execution of B is preceded
+    by A.  So when A already annotates a read (or a write — which makes
+    any later read same-thread) of a slot, B's ``LWL`` for that slot is
+    redundant: the arc it could detect is never the critical (shortest)
+    one.  Applied per innermost enclosing loop; outer-loop arcs are
+    still caught because the surviving annotated read executes first in
+    the outer iteration too.
+    """
+    from repro.cfg.dominators import compute_dominators
+
+    dom = compute_dominators(cfg)
+    reachable = set(dom.idom)
+    inner_of: Dict[int, STLCandidate] = {}
+    for cand in sorted(cands, key=lambda c: c.depth):
+        for bid in cand.loop.blocks:
+            inner_of[bid] = cand  # deepest wins (sorted shallow->deep)
+
+    touched: Dict[int, Set[int]] = {}
+    for bid in inner_of:
+        touched[bid] = {ins.a for ins in cfg.blocks[bid].instrs
+                        if ins.op in (Op.LWL, Op.SWL)}
+
+    for bid, cand in inner_of.items():
+        if bid not in reachable:
+            continue
+        loop_blocks = cand.loop.blocks
+        shadowed: Set[int] = set()
+        walker = dom.idom.get(bid)
+        while walker is not None and walker in loop_blocks:
+            if inner_of.get(walker) is cand:
+                shadowed |= touched.get(walker, set())
+            walker = dom.idom.get(walker)
+        if not shadowed:
+            continue
+        block = cfg.blocks[bid]
+        block.instrs = [ins for ins in block.instrs
+                        if not (ins.op == Op.LWL and ins.a in shadowed)]
+
+
+def _instrument_block(instrs: List[Instr], tracked: Set[int],
+                      level: AnnotationLevel) -> None:
+    """Insert LWL/SWL around accesses to ``tracked`` slots in one block.
+
+    LWL goes before the reading instruction; SWL after the writing one.
+    OPTIMIZED annotates only the first read of each slot per block (the
+    earliest read forms the shortest — critical — arc, Section 5.1).
+    """
+    out: List[Instr] = []
+    loads_done: Set[int] = set()
+    for ins in instrs:
+        if ins.op in (Op.LWL, Op.SWL):   # already instrumented (idempotence)
+            out.append(ins)
+            continue
+        reads = [s for s in _reads_of(ins) if s in tracked]
+        seen_here: Set[int] = set()
+        for slot in reads:
+            if slot in seen_here:
+                continue
+            seen_here.add(slot)
+            if level is AnnotationLevel.OPTIMIZED and slot in loads_done:
+                continue
+            loads_done.add(slot)
+            out.append(Instr(Op.LWL, a=slot))
+        out.append(ins)
+        w = _writes_of(ins)
+        if w is not None and w in tracked:
+            out.append(Instr(Op.SWL, a=w))
+            # a write refreshes the timestamp; a later read in this block
+            # hits the same-thread store, so re-annotating it is useless
+            loads_done.add(w)
+    instrs[:] = out

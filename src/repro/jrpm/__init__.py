@@ -1,0 +1,27 @@
+"""Jrpm — the Java Runtime Parallelizing Machine analog (Figure 1):
+the end-to-end pipeline from source to selected, TLS-simulated STLs."""
+
+from repro.jrpm.batch import FleetResult, FleetRow, run_fleet
+from repro.jrpm.pipeline import Jrpm, JrpmReport, run_pipeline
+from repro.jrpm.report import (
+    render_characteristics_row,
+    render_predicted_vs_actual,
+    render_selection,
+    render_summary,
+)
+from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
+
+__all__ = [
+    "AnnotationCounter",
+    "FleetResult",
+    "FleetRow",
+    "run_fleet",
+    "Jrpm",
+    "JrpmReport",
+    "SlowdownBreakdown",
+    "render_characteristics_row",
+    "render_predicted_vs_actual",
+    "render_selection",
+    "render_summary",
+    "run_pipeline",
+]

@@ -1,0 +1,155 @@
+"""Fleet runs: the whole evaluation as one call.
+
+The paper's Section 6 is a batch experiment — the pipeline over every
+benchmark, summarized per Table 6 / Figures 10-11.  :func:`run_fleet`
+performs that experiment programmatically and returns row objects the
+benches (and downstream users sweeping configurations) can consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jrpm.pipeline import Jrpm, JrpmReport
+from repro.workloads.registry import Workload, all_workloads
+
+
+class FleetRow:
+    """One benchmark's Table 6 / Fig 10 / Fig 11 numbers."""
+
+    def __init__(self, workload: Workload, report: JrpmReport):
+        self.workload = workload
+        self.report = report
+
+    # -- Table 6 columns ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def loop_count(self) -> int:
+        return self.report.candidates.loop_count
+
+    @property
+    def dynamic_depth(self) -> int:
+        return self.report.device.max_dynamic_depth()
+
+    @property
+    def selected_count(self) -> int:
+        """Selected loops with > 0.5% coverage (Table 6 column e)."""
+        return len(self.report.selection.significant())
+
+    @property
+    def avg_selected_height(self) -> float:
+        """1-based loop heights of significant STLs (column f)."""
+        table = self.report.candidates
+        heights = [table.by_id[s.loop_id].loop.height1()
+                   for s in self.report.selection.significant()
+                   if s.loop_id in table.by_id]
+        return sum(heights) / len(heights) if heights else 0.0
+
+    def _weighted(self, value_fn) -> float:
+        sig = self.report.selection.significant()
+        weights = [s.stats.cycles for s in sig]
+        total = sum(weights)
+        if not total:
+            return 0.0
+        return sum(value_fn(s) * w for s, w in zip(sig, weights)) / total
+
+    @property
+    def threads_per_entry(self) -> float:
+        """Coverage-weighted iterations per entry (column g)."""
+        return self._weighted(lambda s: s.stats.avg_iters_per_entry)
+
+    @property
+    def thread_size(self) -> float:
+        """Coverage-weighted thread size in cycles (column h)."""
+        return self._weighted(lambda s: s.stats.avg_thread_size)
+
+    # -- Figures 6 / 10 / 11 ------------------------------------------------
+
+    @property
+    def slowdown(self) -> float:
+        return self.report.profiling_slowdown
+
+    @property
+    def coverage(self) -> float:
+        return self.report.coverage
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.report.predicted_speedup
+
+    @property
+    def actual_speedup(self) -> float:
+        return self.report.actual_speedup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FleetRow %s pred=%.2f act=%.2f>" % (
+            self.name, self.predicted_speedup, self.actual_speedup)
+
+
+class FleetResult:
+    """All rows plus cross-benchmark aggregates."""
+
+    def __init__(self, rows: List[FleetRow]):
+        self.rows = rows
+        self.by_name: Dict[str, FleetRow] = {r.name: r for r in rows}
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def median_slowdown(self) -> float:
+        slows = sorted(r.slowdown for r in self.rows)
+        mid = len(slows) // 2
+        if len(slows) % 2:
+            return slows[mid]
+        return (slows[mid - 1] + slows[mid]) / 2
+
+    @property
+    def geomean_prediction_ratio(self) -> float:
+        """Geometric mean of actual/predicted speedup (1.0 = perfect)."""
+        import math
+        ratios = [r.actual_speedup / r.predicted_speedup
+                  for r in self.rows if r.predicted_speedup > 0]
+        if not ratios:
+            return 1.0
+        return math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+
+    def render(self) -> str:
+        """Table 6-shaped text summary."""
+        lines = ["%-14s %5s %5s %4s %6s %10s %9s %8s %8s" % (
+            "Benchmark", "Loops", "Depth", "Sel", "Height",
+            "Thr/entry", "Size(cy)", "Pred", "Actual")]
+        for r in self.rows:
+            lines.append(
+                "%-14s %5d %5d %4d %6.1f %10.0f %9.0f %7.2fx %7.2fx"
+                % (r.name, r.loop_count, r.dynamic_depth,
+                   r.selected_count, r.avg_selected_height,
+                   r.threads_per_entry, r.thread_size,
+                   r.predicted_speedup, r.actual_speedup))
+        return "\n".join(lines)
+
+
+def run_fleet(workloads: Optional[Iterable[Workload]] = None,
+              config: HydraConfig = DEFAULT_HYDRA,
+              simulate_tls: bool = True,
+              **jrpm_kwargs) -> FleetResult:
+    """Run the pipeline over ``workloads`` (default: all 26).
+
+    Extra keyword arguments flow into every :class:`Jrpm` (annotation
+    level, convergence threshold, optimizer, ...), so one call sweeps
+    the whole evaluation under a new configuration.
+    """
+    rows: List[FleetRow] = []
+    for w in (workloads if workloads is not None else all_workloads()):
+        jrpm = Jrpm(source=w.source(), name=w.name, config=config,
+                    **jrpm_kwargs)
+        rows.append(FleetRow(w, jrpm.run(simulate_tls=simulate_tls)))
+    return FleetResult(rows)

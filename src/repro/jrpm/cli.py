@@ -1,0 +1,96 @@
+"""``jrpm`` command-line interface.
+
+Usage::
+
+    jrpm list                     # show the 26 paper workloads
+    jrpm run huffman              # full pipeline on one workload
+    jrpm run huffman --extended   # with per-PC dependency profiling
+    jrpm run path/to/file.mj      # any minijava source file
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.jit.annotate import AnnotationLevel
+from repro.jrpm.pipeline import Jrpm
+from repro.jrpm.report import (
+    render_predicted_vs_actual,
+    render_selection,
+    render_summary,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jrpm",
+        description="Dynamic parallelization pipeline (TEST / Jrpm "
+                    "reproduction, Chen & Olukotun, CGO 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full pipeline")
+    run.add_argument("target",
+                     help="workload name (see 'jrpm list') or a "
+                          "minijava source file path")
+    run.add_argument("--base", action="store_true",
+                     help="use base (unoptimized) annotations")
+    run.add_argument("--extended", action="store_true",
+                     help="collect per-PC dependency profiles")
+    run.add_argument("--no-tls", action="store_true",
+                     help="skip the TLS timing simulation")
+
+    sub.add_parser("list", help="list the bundled paper workloads")
+    return parser
+
+
+def _resolve_source(target: str) -> tuple:
+    """Return (name, minijava source) for a workload name or file."""
+    if os.path.exists(target):
+        with open(target) as handle:
+            return os.path.basename(target), handle.read()
+    from repro.workloads.registry import get_workload, workload_names
+    try:
+        workload = get_workload(target)
+    except KeyError:
+        raise SystemExit(
+            "unknown workload %r; choose from: %s"
+            % (target, ", ".join(workload_names())))
+    return workload.name, workload.source()
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``jrpm`` console script."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        from repro.workloads.registry import all_workloads
+        for w in all_workloads():
+            print("%-16s %-14s %s" % (w.name, w.category, w.description))
+        return 0
+
+    name, source = _resolve_source(args.target)
+    level = AnnotationLevel.BASE if args.base \
+        else AnnotationLevel.OPTIMIZED
+    jrpm = Jrpm(source=source, name=name, level=level,
+                extended=args.extended)
+    report = jrpm.run(simulate_tls=not args.no_tls)
+    print(render_summary(report))
+    print()
+    print(render_selection(report))
+    if report.outcome is not None:
+        print()
+        print(render_predicted_vs_actual(report))
+    if args.extended:
+        print()
+        for sel in report.selection.selected[:3]:
+            print(report.device.report(sel.loop_id))
+            print()
+        from repro.tracer import OptimizationAdvisor
+        print(OptimizationAdvisor(report).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The Jrpm dynamic parallelization pipeline (paper Figure 1).
+
+One :class:`Jrpm` object drives the five stages for a program:
+
+1. compile minijava source to bytecode and identify potential STLs from
+   the CFG (all natural loops, Section 4.1);
+2. annotate the bytecode and run it sequentially with the TEST device
+   attached, collecting per-STL statistics;
+3. post-process: Equation 1 speedup estimates, Equation 2 nest
+   selection;
+4. recompile the chosen STLs speculatively (dependence-eliminating
+   transformations + Table 2 routines);
+5. run the speculative code — here, the trace-driven TLS timing
+   simulator — yielding the "actual" performance Figure 11 compares
+   against the prediction.
+
+The returned :class:`JrpmReport` carries every intermediate product so
+benches and tests can regenerate each of the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bytecode.program import Program
+from repro.cfg.candidates import CandidateTable, find_candidates
+from repro.errors import PipelineError
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jit.annotate import (
+    AnnotatedProgram,
+    AnnotationLevel,
+    annotate_program,
+)
+from repro.jit.speculative import STLCompilation, compile_stl
+from repro.jrpm.runtime import ProfilingRuntime
+from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
+from repro.lang.codegen import compile_source
+from repro.runtime.costs import CostModel
+from repro.runtime.events import MulticastListener, RecordingListener
+from repro.runtime.interpreter import Interpreter, RunResult, run_program
+from repro.tls.simulator import TLSResult, simulate_stl
+from repro.tls.stats import ProgramTLSOutcome
+from repro.tls.thread_trace import split_trace
+from repro.tracer.device import TestDevice
+from repro.tracer.extended import ExtendedTestDevice
+from repro.tracer.selector import SelectionResult, select_stls
+
+
+class JrpmReport:
+    """Everything one pipeline run produced."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.program: Optional[Program] = None
+        self.candidates: Optional[CandidateTable] = None
+        self.annotated: Optional[AnnotatedProgram] = None
+        self.device: Optional[TestDevice] = None
+        self.sequential: Optional[RunResult] = None
+        self.profiled: Optional[RunResult] = None
+        self.slowdown: Optional[SlowdownBreakdown] = None
+        self.selection: Optional[SelectionResult] = None
+        self.compilations: Dict[int, STLCompilation] = {}
+        self.tls_results: Dict[int, TLSResult] = {}
+        self.outcome: Optional[ProgramTLSOutcome] = None
+
+    # -- headline numbers -------------------------------------------------
+
+    @property
+    def sequential_cycles(self) -> int:
+        return self.sequential.cycles if self.sequential else 0
+
+    @property
+    def profiling_slowdown(self) -> float:
+        return self.slowdown.slowdown if self.slowdown else 1.0
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.selection.predicted_speedup if self.selection else 1.0
+
+    @property
+    def actual_speedup(self) -> float:
+        return self.outcome.actual_speedup if self.outcome else 1.0
+
+    @property
+    def coverage(self) -> float:
+        return self.selection.coverage if self.selection else 0.0
+
+
+class Jrpm:
+    """The runtime parallelizing machine for one program."""
+
+    def __init__(self, source: Optional[str] = None,
+                 program: Optional[Program] = None,
+                 name: str = "program",
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 cost_model: Optional[CostModel] = None,
+                 level: AnnotationLevel = AnnotationLevel.OPTIMIZED,
+                 extended: bool = False,
+                 optimize: bool = False,
+                 min_speedup: float = 1.05,
+                 convergence_threshold: int = 1000,
+                 max_instructions: int = 200_000_000):
+        if (source is None) == (program is None):
+            raise PipelineError(
+                "provide exactly one of source= or program=")
+        self.name = name
+        self._source = source
+        self._program = program
+        self.config = config
+        self.cost_model = cost_model
+        self.level = level
+        self.extended = extended
+        #: run the microJIT scalar optimizer before analysis
+        self.optimize = optimize
+        self.min_speedup = min_speedup
+        #: profiled threads after which a loop's analysis is disabled
+        #: dynamically (Section 5.2); None profiles the whole run
+        self.convergence_threshold = convergence_threshold
+        self.max_instructions = max_instructions
+
+    # -- stages ------------------------------------------------------------
+
+    def run(self, simulate_tls: bool = True) -> JrpmReport:
+        """Execute the full pipeline; see the module docstring."""
+        report = JrpmReport(self.name)
+
+        # stage 1: compile + candidate STLs
+        program = self._program if self._program is not None \
+            else compile_source(self._source)
+        if self.optimize:
+            from repro.jit.optimize import optimize_program
+            program = program.copy()
+            optimize_program(program)
+        report.program = program
+        report.candidates = find_candidates(program)
+
+        # stage 1b: annotate
+        report.annotated = annotate_program(
+            program, report.candidates, self.level)
+
+        # baseline sequential run (the "original code")
+        report.sequential = run_program(
+            program, cost_model=self.cost_model,
+            max_instructions=self.max_instructions)
+
+        # stage 2: profiled run with TEST attached
+        device_cls = ExtendedTestDevice if self.extended else TestDevice
+        device = device_cls(self.config)
+        device.convergence_threshold = self.convergence_threshold
+        for lid, cand in report.annotated.annotated_loops.items():
+            device.register_loop_locals(lid, cand.tracked_locals)
+        recording = RecordingListener()
+        counter = AnnotationCounter()
+        listener = MulticastListener([device, recording, counter])
+        interp = Interpreter(
+            report.annotated.program, cost_model=self.cost_model,
+            listener=listener, max_instructions=self.max_instructions)
+        runtime = ProfilingRuntime(report.annotated.program, interp)
+        device.on_converged = runtime.on_converged
+        report.profiled = interp.run()
+        device.finish()
+        report.device = device
+        report.slowdown = SlowdownBreakdown(
+            report.sequential.cycles, report.profiled.cycles, counter)
+
+        if report.profiled.return_value != report.sequential.return_value:
+            raise PipelineError(
+                "annotation changed program semantics (%r vs %r)"
+                % (report.profiled.return_value,
+                   report.sequential.return_value))
+
+        # stage 3: select STLs (statistics are measured on the profiled
+        # run, whose cycle counts include annotation overhead; the same
+        # timebase is used for the TLS replay, keeping the comparison
+        # consistent)
+        report.selection = select_stls(
+            device, report.profiled.cycles, self.config,
+            min_speedup=self.min_speedup)
+
+        # stages 4 + 5: speculative recompilation + TLS execution
+        if simulate_tls:
+            for sel in report.selection.selected:
+                cand = report.candidates.by_id.get(sel.loop_id)
+                if cand is None:
+                    continue
+                comp = compile_stl(cand, self.config)
+                report.compilations[sel.loop_id] = comp
+                entries = split_trace(recording, sel.loop_id)
+                report.tls_results[sel.loop_id] = simulate_stl(
+                    comp, entries, self.config)
+            report.outcome = ProgramTLSOutcome(
+                report.selection, report.tls_results)
+        return report
+
+    def measure_slowdown(self, level: AnnotationLevel
+                         ) -> SlowdownBreakdown:
+        """Run only the profiling-slowdown measurement at one annotation
+        level (Figure 6's bars)."""
+        program = self._program if self._program is not None \
+            else compile_source(self._source)
+        candidates = find_candidates(program)
+        annotated = annotate_program(program, candidates, level)
+        base = run_program(program, cost_model=self.cost_model,
+                           max_instructions=self.max_instructions)
+        counter = AnnotationCounter()
+        device = TestDevice(self.config)
+        device.convergence_threshold = self.convergence_threshold
+        for lid, cand in annotated.annotated_loops.items():
+            device.register_loop_locals(lid, cand.tracked_locals)
+        interp = Interpreter(
+            annotated.program, cost_model=self.cost_model,
+            listener=MulticastListener([device, counter]),
+            max_instructions=self.max_instructions)
+        runtime = ProfilingRuntime(annotated.program, interp)
+        device.on_converged = runtime.on_converged
+        profiled = interp.run()
+        return SlowdownBreakdown(base.cycles, profiled.cycles, counter)
+
+
+def run_pipeline(source: str, name: str = "program",
+                 **kwargs) -> JrpmReport:
+    """Compile-and-run convenience wrapper around :class:`Jrpm`."""
+    return Jrpm(source=source, name=name, **kwargs).run()

@@ -1,0 +1,94 @@
+"""Text rendering of pipeline results in the shape of the paper's
+tables and figures."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jrpm.pipeline import JrpmReport
+
+
+def render_summary(report: JrpmReport) -> str:
+    """One-paragraph overview of a pipeline run."""
+    lines = [
+        "Jrpm report: %s" % report.name,
+        "  sequential time   : %d cycles" % report.sequential_cycles,
+        "  profiling slowdown: %.1f%%"
+        % (100 * (report.profiling_slowdown - 1)),
+        "  loops profiled    : %d" % len(report.device.stats),
+        "  STLs selected     : %d" % len(report.selection.selected),
+        "  coverage          : %.1f%%" % (100 * report.coverage),
+        "  predicted speedup : %.2fx" % report.predicted_speedup,
+    ]
+    if report.outcome is not None:
+        lines.append(
+            "  actual speedup    : %.2fx (TLS simulation)"
+            % report.actual_speedup)
+    return "\n".join(lines)
+
+
+def render_selection(report: JrpmReport, limit: int = 20) -> str:
+    """Per-STL table: the Figure 10 block decomposition in text form."""
+    sel = report.selection
+    lines = ["%-6s %12s %9s %10s %10s %9s" % (
+        "loop", "cycles", "cover%", "threads", "size", "est.spdup")]
+    for s in sel.selected[:limit]:
+        st = s.stats
+        lines.append("L%-5d %12d %8.1f%% %10d %10.1f %8.2fx" % (
+            s.loop_id, st.cycles,
+            100.0 * st.cycles / sel.total_cycles,
+            st.threads, st.avg_thread_size, s.estimate.speedup))
+    lines.append("%-6s %12d %8.1f%%" % (
+        "serial", sel.serial_cycles,
+        100.0 * sel.serial_cycles / sel.total_cycles
+        if sel.total_cycles else 0.0))
+    return "\n".join(lines)
+
+
+def render_predicted_vs_actual(report: JrpmReport) -> str:
+    """Figure 11's two bars for this program, plus per-STL detail."""
+    out = report.outcome
+    if out is None:
+        return "(TLS simulation was not run)"
+    lines = [
+        "normalized execution time (1.0 = sequential)",
+        "  predicted: %.3f" % out.predicted_normalized_time,
+        "  actual   : %.3f" % out.actual_normalized_time,
+        "",
+        "%-6s %12s %10s %10s %12s" % (
+            "loop", "cycles", "predicted", "actual", "viol/thread"),
+    ]
+    for loop_id, cycles, pred, actual, vrate in out.per_stl_rows():
+        lines.append("L%-5d %12d %9.2fx %9.2fx %12.3f" % (
+            loop_id, cycles, pred, actual, vrate))
+    return "\n".join(lines)
+
+
+def render_characteristics_row(report: JrpmReport) -> str:
+    """This program's row of Table 6 (TEST analysis columns)."""
+    table = report.candidates
+    sel = report.selection
+    significant = sel.significant()
+    heights: List[int] = []
+    for s in significant:
+        cand = table.by_id.get(s.loop_id)
+        if cand is not None:
+            heights.append(cand.loop.height1())
+    avg_height = sum(heights) / len(heights) if heights else 0.0
+    threads_per_entry = [s.stats.avg_iters_per_entry for s in significant]
+    sizes = [s.stats.avg_thread_size for s in significant]
+    weights = [s.stats.cycles for s in significant]
+    total_w = sum(weights) or 1
+
+    def wavg(values: List[float]) -> float:
+        return sum(v * w for v, w in zip(values, weights)) / total_w
+
+    return ("%-16s loops=%-4d depth=%-2d selected=%-3d "
+            "avg_height=%-4.1f threads/entry=%-8.0f size=%-8.0f" % (
+                report.name,
+                table.loop_count,
+                report.device.max_dynamic_depth(),
+                len(significant),
+                avg_height,
+                wavg(threads_per_entry) if threads_per_entry else 0,
+                wavg(sizes) if sizes else 0))

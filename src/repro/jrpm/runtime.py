@@ -1,0 +1,47 @@
+"""Dynamic annotation disabling (paper Section 5.2).
+
+"When sufficient data has been collected to predict behavior for a STL,
+the annotations marking it can be disabled dynamically (e.g.
+overwriting JIT compiled code with nop instructions)."
+
+:class:`ProfilingRuntime` implements exactly that: when the TEST device
+declares a loop's statistics converged, the runtime overwrites that
+loop's ``READSTATS`` sites with ``NOP``s in the live code (saving the
+expensive counter drain at every exit) and keeps the interpreter's
+cached cycle costs coherent.  The cheap one-cycle markers (``sloop``/
+``eoi``/``eloop``/``lwl``/``swl``) cost the same as a ``nop``, so only
+``READSTATS`` patching changes timing — just as on real hardware, where
+a nop'd annotation still occupies its issue slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bytecode.instructions import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Function, Program
+from repro.runtime.interpreter import Interpreter
+
+
+class ProfilingRuntime:
+    """Patches converged loops' annotation code during the profiled run."""
+
+    def __init__(self, program: Program, interpreter: Interpreter):
+        self._interpreter = interpreter
+        #: loop id -> [(function, pc)] of its READSTATS instructions
+        self._readstats_sites: Dict[int, List[Tuple[Function, int]]] = {}
+        for fn in program.functions.values():
+            for pc, ins in enumerate(fn.code):
+                if ins.op == Op.READSTATS:
+                    self._readstats_sites.setdefault(ins.a, []).append(
+                        (fn, pc))
+        #: loops whose sites have been patched
+        self.patched: List[int] = []
+
+    def on_converged(self, loop_id: int) -> None:
+        """Device callback: nop out the loop's READSTATS sites."""
+        for fn, pc in self._readstats_sites.get(loop_id, ()):
+            fn.code[pc] = Instr(Op.NOP)
+            self._interpreter.patch_cost(fn.name, pc, Op.NOP)
+        self.patched.append(loop_id)

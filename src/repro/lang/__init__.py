@@ -1,0 +1,22 @@
+"""minijava: the small imperative language the paper's workloads are
+written in for this reproduction.
+
+The paper's Jrpm system consumes Java bytecode through the Kaffe JVM;
+here the equivalent front-end is a full lexer → parser → semantic
+analyzer → bytecode generator for a C-like language with ints, floats
+and one-dimensional arrays.  :func:`compile_source` is the one-call
+entry point.
+"""
+
+from repro.lang.codegen import compile_module, compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+__all__ = [
+    "analyze",
+    "compile_module",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,277 @@
+"""Abstract syntax tree for minijava.
+
+Nodes carry source positions so semantic errors point at the offending
+construct.  The tree is deliberately plain — dataclass-like classes with
+``__slots__`` — and is consumed by :mod:`repro.lang.sema` and
+:mod:`repro.lang.codegen`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base class; every node records ``line``/``column``."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+
+
+class FloatLit(Expr):
+    """Float literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+
+
+class Name(Expr):
+    """A variable reference."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.ident = ident
+
+
+class Index(Expr):
+    """``base[index]`` — an array element read (or write target)."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.base = base
+        self.index = index
+
+
+class Unary(Expr):
+    """``-x``, ``!x``, ``~x``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """``lhs <op> rhs`` for arithmetic, bitwise and comparison operators."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Call(Expr):
+    """A call to a user function, builtin, or intrinsic."""
+
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: str, args: List[Expr],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.callee = callee
+        self.args = args
+
+
+# -- statements ------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    """``var name = expr;``"""
+
+    __slots__ = ("name", "init")
+
+    def __init__(self, name: str, init: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.init = init
+
+
+class Assign(Stmt):
+    """``name = expr;``"""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.value = value
+
+
+class StoreIndex(Stmt):
+    """``base[index] = expr;``"""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Index, value: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.target = target
+        self.value = value
+
+
+class If(Stmt):
+    """``if (cond) { ... } else { ... }``; ``orelse`` may be empty."""
+
+    __slots__ = ("cond", "body", "orelse")
+
+    def __init__(self, cond: Expr, body: List[Stmt], orelse: List[Stmt],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.cond = cond
+        self.body = body
+        self.orelse = orelse
+
+
+class While(Stmt):
+    """``while (cond) { ... }``"""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: List[Stmt],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    """``for (init; cond; step) { ... }``; init/step are optional
+    simple statements (VarDecl/Assign/StoreIndex/ExprStmt)."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Expr,
+                 step: Optional[Stmt], body: List[Stmt],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    """``return expr?;``"""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+
+
+class Break(Stmt):
+    """``break;``"""
+
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    """``continue;``"""
+
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for side effects (a call)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.expr = expr
+
+
+class Print(Stmt):
+    """``print expr;`` (debugging aid)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.expr = expr
+
+
+# -- declarations ------------------------------------------------------------
+
+
+class FuncDecl(Node):
+    """``func name(params) { body }``"""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: Tuple[str, ...], body: List[Stmt],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class Module(Node):
+    """A whole source file: a list of function declarations."""
+
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: List[FuncDecl]):
+        super().__init__()
+        self.functions = functions

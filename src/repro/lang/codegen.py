@@ -1,0 +1,332 @@
+"""Bytecode generation from the minijava AST.
+
+The generator is a single-pass tree walker over a pre-collected table of
+named locals.  Named locals must occupy a contiguous slot prefix (the
+TEST annotation pass instruments them by slot number, mirroring the
+paper's ``lwl``/``swl vn`` instructions), so a pre-walk assigns a slot to
+every declaration site before any temporary is allocated.
+
+Shadowed declarations get distinct slots; scope resolution during
+emission maps a name to the innermost live declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode import (
+    BinOp,
+    FunctionBuilder,
+    Label,
+    Program,
+    UnOp,
+    verify_program,
+)
+from repro.errors import CodegenError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.sema import INTRINSIC_ARITY, analyze
+
+_BINOPS = {
+    "+": BinOp.ADD,
+    "-": BinOp.SUB,
+    "*": BinOp.MUL,
+    "/": BinOp.DIV,
+    "%": BinOp.MOD,
+    "&": BinOp.AND,
+    "|": BinOp.OR,
+    "^": BinOp.XOR,
+    "<<": BinOp.SHL,
+    ">>": BinOp.SHR,
+    "<": BinOp.LT,
+    "<=": BinOp.LE,
+    ">": BinOp.GT,
+    ">=": BinOp.GE,
+    "==": BinOp.EQ,
+    "!=": BinOp.NE,
+}
+
+_UNOPS = {
+    "-": UnOp.NEG,
+    "!": UnOp.NOT,
+    "~": UnOp.INV,
+}
+
+
+def _collect_decls(stmts: List[ast.Stmt], out: List[ast.VarDecl]) -> None:
+    """Gather every VarDecl in source order (including loop inits)."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.VarDecl):
+            out.append(stmt)
+        elif isinstance(stmt, ast.If):
+            _collect_decls(stmt.body, out)
+            _collect_decls(stmt.orelse, out)
+        elif isinstance(stmt, ast.While):
+            _collect_decls(stmt.body, out)
+        elif isinstance(stmt, ast.For):
+            if isinstance(stmt.init, ast.VarDecl):
+                out.append(stmt.init)
+            _collect_decls(stmt.body, out)
+
+
+class _FuncGen:
+    """Generates bytecode for one function."""
+
+    def __init__(self, decl: ast.FuncDecl, returns_value: bool):
+        self._decl = decl
+        self._returns_value = returns_value
+        self._b = FunctionBuilder(decl.name, decl.params)
+        self._slot_of_decl: Dict[int, int] = {}
+        # scope stack: list of {name: slot}
+        self._scopes: List[Dict[str, int]] = [
+            {p: self._b.lookup(p) for p in decl.params}
+        ]
+        # (continue_target, break_target) stack
+        self._loops: List[Tuple[Label, Label]] = []
+        decls: List[ast.VarDecl] = []
+        _collect_decls(decl.body, decls)
+        for d in decls:
+            slot = self._b.named_local("%s.%d" % (d.name, len(
+                self._slot_of_decl)) if self._is_shadowing(d, decls)
+                else d.name)
+            self._slot_of_decl[id(d)] = slot
+
+    @staticmethod
+    def _is_shadowing(decl: ast.VarDecl, decls: List[ast.VarDecl]) -> bool:
+        """Whether another declaration shares this name (needs a unique
+        synthetic slot name)."""
+        return sum(1 for d in decls if d.name == decl.name) > 1
+
+    # -- scope helpers -----------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def _bind(self, name: str, slot: int) -> None:
+        self._scopes[-1][name] = slot
+
+    def _resolve(self, name: str) -> int:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise CodegenError("unresolved name %r (sema should have caught)"
+                           % name)
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self):
+        for stmt in self._decl.body:
+            self._stmt(stmt)
+        # Guarantee the function ends with a terminator.
+        if self._returns_value:
+            zero = self._b.temp()
+            self._b.const(zero, 0)
+            self._b.ret(zero)
+        else:
+            self._b.ret()
+        return self._b.build()
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            slot = self._slot_of_decl[id(stmt)]
+            self._expr_into(stmt.init, slot)
+            self._bind(stmt.name, slot)
+        elif isinstance(stmt, ast.Assign):
+            slot = self._resolve(stmt.name)
+            self._expr_into(stmt.value, slot)
+        elif isinstance(stmt, ast.StoreIndex):
+            arr = self._expr(stmt.target.base)
+            idx = self._expr(stmt.target.index)
+            val = self._expr(stmt.value)
+            self._b.astore(arr, idx, val)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._b.ret(self._expr(stmt.value))
+            else:
+                self._b.ret()
+        elif isinstance(stmt, ast.Break):
+            self._b.jmp(self._loops[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            self._b.jmp(self._loops[-1][0])
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                self._call(stmt.expr, dst=-1)
+            else:  # pragma: no cover - sema rejects
+                self._expr(stmt.expr)
+        elif isinstance(stmt, ast.Print):
+            self._b.print_(self._expr(stmt.expr))
+        else:  # pragma: no cover - exhaustive
+            raise CodegenError("unknown statement %r" % stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        cond = self._expr(stmt.cond)
+        then_lab = self._b.label()
+        done_lab = self._b.label()
+        else_lab = self._b.label() if stmt.orelse else done_lab
+        self._b.br(cond, then_lab, else_lab)
+        self._b.mark(then_lab)
+        self._push_scope()
+        for s in stmt.body:
+            self._stmt(s)
+        self._pop_scope()
+        if stmt.orelse:
+            self._b.jmp(done_lab)
+            self._b.mark(else_lab)
+            self._push_scope()
+            for s in stmt.orelse:
+                self._stmt(s)
+            self._pop_scope()
+        self._b.mark(done_lab)
+
+    def _while(self, stmt: ast.While) -> None:
+        top = self._b.label()
+        body = self._b.label()
+        done = self._b.label()
+        self._b.mark(top)
+        cond = self._expr(stmt.cond)
+        self._b.br(cond, body, done)
+        self._b.mark(body)
+        self._loops.append((top, done))
+        self._push_scope()
+        for s in stmt.body:
+            self._stmt(s)
+        self._pop_scope()
+        self._loops.pop()
+        self._b.jmp(top)
+        self._b.mark(done)
+
+    def _for(self, stmt: ast.For) -> None:
+        self._push_scope()
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        top = self._b.label()
+        body = self._b.label()
+        step_lab = self._b.label()
+        done = self._b.label()
+        self._b.mark(top)
+        cond = self._expr(stmt.cond)
+        self._b.br(cond, body, done)
+        self._b.mark(body)
+        self._loops.append((step_lab, done))
+        self._push_scope()
+        for s in stmt.body:
+            self._stmt(s)
+        self._pop_scope()
+        self._loops.pop()
+        self._b.mark(step_lab)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._b.jmp(top)
+        self._b.mark(done)
+        self._pop_scope()
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> int:
+        """Evaluate into a fresh temp (or return the slot for a Name)."""
+        if isinstance(expr, ast.Name):
+            return self._resolve(expr.ident)
+        dst = self._b.temp()
+        self._expr_into(expr, dst)
+        return dst
+
+    def _expr_into(self, expr: ast.Expr, dst: int) -> None:
+        """Evaluate ``expr`` into slot ``dst``."""
+        b = self._b
+        if isinstance(expr, ast.IntLit):
+            b.const(dst, expr.value)
+        elif isinstance(expr, ast.FloatLit):
+            b.const(dst, expr.value)
+        elif isinstance(expr, ast.Name):
+            b.mov(dst, self._resolve(expr.ident))
+        elif isinstance(expr, ast.Index):
+            arr = self._expr(expr.base)
+            idx = self._expr(expr.index)
+            b.aload(dst, arr, idx)
+        elif isinstance(expr, ast.Unary):
+            operand = self._expr(expr.operand)
+            b.unop(_UNOPS[expr.op], dst, operand)
+        elif isinstance(expr, ast.Binary):
+            lhs = self._expr(expr.lhs)
+            rhs = self._expr(expr.rhs)
+            b.binop(_BINOPS[expr.op], dst, lhs, rhs)
+        elif isinstance(expr, ast.Logical):
+            self._logical(expr, dst)
+        elif isinstance(expr, ast.Call):
+            self._call(expr, dst)
+        else:  # pragma: no cover - exhaustive
+            raise CodegenError("unknown expression %r" % expr)
+
+    def _logical(self, expr: ast.Logical, dst: int) -> None:
+        """Short-circuit ``&&``/``||`` producing 0/1 in ``dst``."""
+        b = self._b
+        eval_rhs = b.label()
+        short = b.label()
+        done = b.label()
+        lhs = self._expr(expr.lhs)
+        if expr.op == "&&":
+            b.br(lhs, eval_rhs, short)   # lhs false -> 0
+            short_value = 0
+        else:
+            b.br(lhs, short, eval_rhs)   # lhs true -> 1
+            short_value = 1
+        b.mark(eval_rhs)
+        rhs = self._expr(expr.rhs)
+        # normalize rhs to 0/1
+        zero = b.temp()
+        b.const(zero, 0)
+        b.binop(BinOp.NE, dst, rhs, zero)
+        b.jmp(done)
+        b.mark(short)
+        b.const(dst, short_value)
+        b.mark(done)
+
+    def _call(self, expr: ast.Call, dst: int) -> None:
+        b = self._b
+        name = expr.callee
+        if name == "array":
+            length = self._expr(expr.args[0])
+            b.newarr(dst, length)
+            return
+        if name == "len":
+            arr = self._expr(expr.args[0])
+            b.length(dst, arr)
+            return
+        if name == "int":
+            b.unop(UnOp.F2I, dst, self._expr(expr.args[0]))
+            return
+        if name == "float":
+            b.unop(UnOp.I2F, dst, self._expr(expr.args[0]))
+            return
+        args = tuple(self._expr(a) for a in expr.args)
+        if name in INTRINSIC_ARITY:
+            b.intrin(dst, name, args)
+            return
+        b.call(dst, name, args)
+
+
+def compile_module(module: ast.Module, entry: str = "main") -> Program:
+    """Compile an analyzed AST module to a verified bytecode program."""
+    sigs = analyze(module)
+    program = Program(entry=entry)
+    for decl in module.functions:
+        gen = _FuncGen(decl, sigs[decl.name].returns_value)
+        program.add(gen.run())
+    verify_program(program)
+    return program
+
+
+def compile_source(source: str, entry: str = "main") -> Program:
+    """Parse, analyze, and compile minijava source text."""
+    return compile_module(parse(source), entry=entry)

@@ -1,0 +1,147 @@
+"""Hand-written lexer for minijava.
+
+Produces a list of :class:`~repro.lang.tokens.Token`; comments (``//`` to
+end of line and ``/* ... */``) and whitespace are skipped.  Malformed
+input raises :class:`~repro.errors.LexError` with a source position.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_OPS,
+    PUNCT,
+    SINGLE_OPS,
+    TokKind,
+    Token,
+)
+
+
+class _Cursor:
+    """Tracks position in the source text."""
+
+    __slots__ = ("text", "pos", "line", "column")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, ahead: int = 0) -> str:
+        """Character ``ahead`` positions from here, or '' at end."""
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> None:
+        """Consume ``count`` characters, tracking line/column."""
+        for _ in range(count):
+            if self.pos >= len(self.text):
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens, ending with a single EOF token."""
+    cur = _Cursor(source)
+    out: List[Token] = []
+    while True:
+        _skip_trivia(cur)
+        if cur.done:
+            out.append(Token(TokKind.EOF, "", cur.line, cur.column))
+            return out
+        ch = cur.peek()
+        line, col = cur.line, cur.column
+        if ch.isdigit() or (ch == "." and cur.peek(1).isdigit()):
+            out.append(_lex_number(cur, line, col))
+        elif ch.isalpha() or ch == "_":
+            out.append(_lex_word(cur, line, col))
+        elif ch in PUNCT:
+            cur.advance()
+            out.append(Token(TokKind.PUNCT, ch, line, col))
+        else:
+            out.append(_lex_operator(cur, line, col))
+
+
+def _skip_trivia(cur: _Cursor) -> None:
+    """Skip whitespace and comments."""
+    while not cur.done:
+        ch = cur.peek()
+        if ch in " \t\r\n":
+            cur.advance()
+        elif ch == "/" and cur.peek(1) == "/":
+            while not cur.done and cur.peek() != "\n":
+                cur.advance()
+        elif ch == "/" and cur.peek(1) == "*":
+            start_line, start_col = cur.line, cur.column
+            cur.advance(2)
+            while not (cur.peek() == "*" and cur.peek(1) == "/"):
+                if cur.done:
+                    raise LexError(
+                        "unterminated block comment", start_line, start_col)
+                cur.advance()
+            cur.advance(2)
+        else:
+            return
+
+
+def _lex_number(cur: _Cursor, line: int, col: int) -> Token:
+    """Lex an integer or float literal (decimal only, optional exponent)."""
+    start = cur.pos
+    is_float = False
+    while cur.peek().isdigit():
+        cur.advance()
+    if cur.peek() == "." and cur.peek(1).isdigit():
+        is_float = True
+        cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    if cur.peek() in "eE" and (
+            cur.peek(1).isdigit()
+            or (cur.peek(1) in "+-" and cur.peek(2).isdigit())):
+        is_float = True
+        cur.advance()
+        if cur.peek() in "+-":
+            cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    text = cur.text[start:cur.pos]
+    if cur.peek().isalpha() or cur.peek() == "_":
+        raise LexError("malformed number %r" % (text + cur.peek()), line, col)
+    kind = TokKind.FLOAT if is_float else TokKind.INT
+    return Token(kind, text, line, col)
+
+
+def _lex_word(cur: _Cursor, line: int, col: int) -> Token:
+    """Lex an identifier or keyword."""
+    start = cur.pos
+    while cur.peek().isalnum() or cur.peek() == "_":
+        cur.advance()
+    text = cur.text[start:cur.pos]
+    kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+    return Token(kind, text, line, col)
+
+
+def _lex_operator(cur: _Cursor, line: int, col: int) -> Token:
+    """Lex an operator, matching multi-character forms greedily."""
+    for op in MULTI_OPS:
+        if cur.text.startswith(op, cur.pos):
+            cur.advance(len(op))
+            return Token(TokKind.OP, op, line, col)
+    ch = cur.peek()
+    if ch in SINGLE_OPS:
+        cur.advance()
+        return Token(TokKind.OP, ch, line, col)
+    raise LexError("unexpected character %r" % ch, line, col)

@@ -1,0 +1,321 @@
+"""Recursive-descent parser for minijava.
+
+Grammar (EBNF; ``*`` repetition, ``?`` option):
+
+.. code-block:: text
+
+    module     := funcdecl*
+    funcdecl   := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block      := "{" stmt* "}"
+    stmt       := "var" IDENT "=" expr ";"
+                | "if" "(" expr ")" block ["else" (block | if-stmt)]
+                | "while" "(" expr ")" block
+                | "for" "(" [simple] ";" expr ";" [simple] ")" block
+                | "return" [expr] ";"
+                | "break" ";" | "continue" ";"
+                | "print" expr ";"
+                | simple ";"
+    simple     := IDENT "=" expr
+                | postfix "[" expr "]" "=" expr
+                | expr                      (must be a call)
+    expr       := or
+    or         := and ("||" and)*
+    and        := bitor ("&&" bitor)*
+    bitor      := bitxor ("|" bitxor)*
+    bitxor     := bitand ("^" bitand)*
+    bitand     := equality ("&" equality)*
+    equality   := relational (("=="|"!=") relational)*
+    relational := shift (("<"|"<="|">"|">=") shift)*
+    shift      := additive (("<<"|">>") additive)*
+    additive   := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary      := ("-"|"!"|"~") unary | postfix
+    postfix    := primary ("[" expr "]")*
+    primary    := INT | FLOAT | IDENT ["(" args ")"] | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind, Token
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: TokKind, text: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: TokKind, text: Optional[str] = None
+                ) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokKind, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        want = text if text is not None else kind.value
+        raise ParseError(
+            "expected %s, found %s" % (want, self._cur.describe()),
+            self._cur.line, self._cur.column)
+
+    # -- declarations ---------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        """Parse a whole source file."""
+        functions: List[ast.FuncDecl] = []
+        while not self._check(TokKind.EOF):
+            functions.append(self._funcdecl())
+        return ast.Module(functions)
+
+    def _funcdecl(self) -> ast.FuncDecl:
+        start = self._expect(TokKind.KEYWORD, "func")
+        name = self._expect(TokKind.IDENT).text
+        self._expect(TokKind.PUNCT, "(")
+        params: List[str] = []
+        if not self._check(TokKind.PUNCT, ")"):
+            params.append(self._expect(TokKind.IDENT).text)
+            while self._accept(TokKind.PUNCT, ","):
+                params.append(self._expect(TokKind.IDENT).text)
+        self._expect(TokKind.PUNCT, ")")
+        body = self._block()
+        return ast.FuncDecl(name, tuple(params), body,
+                            start.line, start.column)
+
+    # -- statements -------------------------------------------------------
+
+    def _block(self) -> List[ast.Stmt]:
+        self._expect(TokKind.PUNCT, "{")
+        stmts: List[ast.Stmt] = []
+        while not self._check(TokKind.PUNCT, "}"):
+            if self._check(TokKind.EOF):
+                raise ParseError("unterminated block",
+                                 self._cur.line, self._cur.column)
+            stmts.append(self._stmt())
+        self._expect(TokKind.PUNCT, "}")
+        return stmts
+
+    def _stmt(self) -> ast.Stmt:
+        tok = self._cur
+        if tok.kind is TokKind.KEYWORD:
+            if tok.text == "var":
+                stmt = self._var_decl()
+                self._expect(TokKind.PUNCT, ";")
+                return stmt
+            if tok.text == "if":
+                return self._if_stmt()
+            if tok.text == "while":
+                return self._while_stmt()
+            if tok.text == "for":
+                return self._for_stmt()
+            if tok.text == "return":
+                self._advance()
+                value = None
+                if not self._check(TokKind.PUNCT, ";"):
+                    value = self._expr()
+                self._expect(TokKind.PUNCT, ";")
+                return ast.Return(value, tok.line, tok.column)
+            if tok.text == "break":
+                self._advance()
+                self._expect(TokKind.PUNCT, ";")
+                node = ast.Break(tok.line, tok.column)
+                return node
+            if tok.text == "continue":
+                self._advance()
+                self._expect(TokKind.PUNCT, ";")
+                return ast.Continue(tok.line, tok.column)
+            if tok.text == "print":
+                self._advance()
+                expr = self._expr()
+                self._expect(TokKind.PUNCT, ";")
+                return ast.Print(expr, tok.line, tok.column)
+        stmt = self._simple_stmt()
+        self._expect(TokKind.PUNCT, ";")
+        return stmt
+
+    def _var_decl(self) -> ast.VarDecl:
+        start = self._expect(TokKind.KEYWORD, "var")
+        name = self._expect(TokKind.IDENT).text
+        self._expect(TokKind.OP, "=")
+        init = self._expr()
+        return ast.VarDecl(name, init, start.line, start.column)
+
+    def _if_stmt(self) -> ast.If:
+        start = self._expect(TokKind.KEYWORD, "if")
+        self._expect(TokKind.PUNCT, "(")
+        cond = self._expr()
+        self._expect(TokKind.PUNCT, ")")
+        body = self._block()
+        orelse: List[ast.Stmt] = []
+        if self._accept(TokKind.KEYWORD, "else"):
+            if self._check(TokKind.KEYWORD, "if"):
+                orelse = [self._if_stmt()]
+            else:
+                orelse = self._block()
+        return ast.If(cond, body, orelse, start.line, start.column)
+
+    def _while_stmt(self) -> ast.While:
+        start = self._expect(TokKind.KEYWORD, "while")
+        self._expect(TokKind.PUNCT, "(")
+        cond = self._expr()
+        self._expect(TokKind.PUNCT, ")")
+        body = self._block()
+        return ast.While(cond, body, start.line, start.column)
+
+    def _for_stmt(self) -> ast.For:
+        start = self._expect(TokKind.KEYWORD, "for")
+        self._expect(TokKind.PUNCT, "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(TokKind.PUNCT, ";"):
+            if self._check(TokKind.KEYWORD, "var"):
+                init = self._var_decl()
+            else:
+                init = self._simple_stmt()
+        self._expect(TokKind.PUNCT, ";")
+        cond = self._expr()
+        self._expect(TokKind.PUNCT, ";")
+        step: Optional[ast.Stmt] = None
+        if not self._check(TokKind.PUNCT, ")"):
+            step = self._simple_stmt()
+        self._expect(TokKind.PUNCT, ")")
+        body = self._block()
+        return ast.For(init, cond, step, body, start.line, start.column)
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """Assignment, indexed store, or expression statement."""
+        start = self._cur
+        expr = self._expr()
+        if self._accept(TokKind.OP, "="):
+            value = self._expr()
+            if isinstance(expr, ast.Name):
+                return ast.Assign(expr.ident, value,
+                                  start.line, start.column)
+            if isinstance(expr, ast.Index):
+                return ast.StoreIndex(expr, value,
+                                      start.line, start.column)
+            raise ParseError("invalid assignment target",
+                             start.line, start.column)
+        if not isinstance(expr, ast.Call):
+            raise ParseError(
+                "expression statement must be a call",
+                start.line, start.column)
+        return ast.ExprStmt(expr, start.line, start.column)
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or()
+
+    def _left_assoc(self, sub, ops, node_cls) -> ast.Expr:
+        expr = sub()
+        while self._cur.kind is TokKind.OP and self._cur.text in ops:
+            op = self._advance()
+            rhs = sub()
+            expr = node_cls(op.text, expr, rhs, op.line, op.column)
+        return expr
+
+    def _or(self) -> ast.Expr:
+        return self._left_assoc(self._and, ("||",), ast.Logical)
+
+    def _and(self) -> ast.Expr:
+        return self._left_assoc(self._bitor, ("&&",), ast.Logical)
+
+    def _bitor(self) -> ast.Expr:
+        return self._left_assoc(self._bitxor, ("|",), ast.Binary)
+
+    def _bitxor(self) -> ast.Expr:
+        return self._left_assoc(self._bitand, ("^",), ast.Binary)
+
+    def _bitand(self) -> ast.Expr:
+        return self._left_assoc(self._equality, ("&",), ast.Binary)
+
+    def _equality(self) -> ast.Expr:
+        return self._left_assoc(self._relational, ("==", "!="), ast.Binary)
+
+    def _relational(self) -> ast.Expr:
+        return self._left_assoc(
+            self._shift, ("<", "<=", ">", ">="), ast.Binary)
+
+    def _shift(self) -> ast.Expr:
+        return self._left_assoc(self._additive, ("<<", ">>"), ast.Binary)
+
+    def _additive(self) -> ast.Expr:
+        return self._left_assoc(
+            self._multiplicative, ("+", "-"), ast.Binary)
+
+    def _multiplicative(self) -> ast.Expr:
+        return self._left_assoc(self._unary, ("*", "/", "%"), ast.Binary)
+
+    def _unary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind is TokKind.OP and tok.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(tok.text, operand, tok.line, tok.column)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while self._check(TokKind.PUNCT, "["):
+            bracket = self._advance()
+            index = self._expr()
+            self._expect(TokKind.PUNCT, "]")
+            expr = ast.Index(expr, index, bracket.line, bracket.column)
+        return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind is TokKind.INT:
+            self._advance()
+            return ast.IntLit(int(tok.text), tok.line, tok.column)
+        if tok.kind is TokKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(float(tok.text), tok.line, tok.column)
+        if tok.kind is TokKind.IDENT:
+            self._advance()
+            if self._check(TokKind.PUNCT, "("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(TokKind.PUNCT, ")"):
+                    args.append(self._expr())
+                    while self._accept(TokKind.PUNCT, ","):
+                        args.append(self._expr())
+                self._expect(TokKind.PUNCT, ")")
+                return ast.Call(tok.text, args, tok.line, tok.column)
+            return ast.Name(tok.text, tok.line, tok.column)
+        if tok.kind is TokKind.PUNCT and tok.text == "(":
+            self._advance()
+            expr = self._expr()
+            self._expect(TokKind.PUNCT, ")")
+            return expr
+        raise ParseError(
+            "expected expression, found %s" % tok.describe(),
+            tok.line, tok.column)
+
+
+def parse(source: str) -> ast.Module:
+    """Lex and parse ``source`` into a :class:`~repro.lang.ast_nodes.Module`."""
+    parser = Parser(tokenize(source))
+    return parser.parse_module()

@@ -1,0 +1,375 @@
+"""Semantic analysis for minijava.
+
+minijava is category-typed: every expression is either *numeric* (an int
+or float — the distinction is dynamic, as in the JVM's untyped local
+slots once our codegen is done with them) or an *array* (a heap handle).
+Semantic analysis enforces:
+
+* scope rules (no use before declaration, no duplicate declaration in the
+  same block, parameters pre-declared);
+* category rules (arrays cannot be added, numerics cannot be indexed,
+  ``array``/``len``/intrinsic arguments have the right categories);
+* call arity for user functions, builtins, and intrinsics;
+* ``break``/``continue`` only inside loops;
+* return consistency (a function either always returns a value or never
+  does; value-returning calls cannot be used as statements' discarded
+  values *in expression position* of a void function).
+
+Analysis is flow-insensitive and runs before codegen; any failure raises
+:class:`~repro.errors.SemanticError` with a source position.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+
+#: Intrinsics and their arity; all take and return numerics.
+INTRINSIC_ARITY = {
+    "sqrt": 1,
+    "sin": 1,
+    "cos": 1,
+    "exp": 1,
+    "log": 1,
+    "abs": 1,
+    "floor": 1,
+    "min": 2,
+    "max": 2,
+    "pow": 2,
+}
+
+#: Builtins handled specially by codegen.
+BUILTINS = frozenset(["array", "len", "int", "float"]) | frozenset(
+    INTRINSIC_ARITY)
+
+
+class Kind(enum.Enum):
+    """Expression categories."""
+
+    NUM = "numeric"
+    ARRAY = "array"
+    VOID = "void"
+
+
+class FuncSig:
+    """Signature facts gathered in the pre-pass."""
+
+    __slots__ = ("name", "n_params", "returns_value")
+
+    def __init__(self, name: str, n_params: int, returns_value: bool):
+        self.name = name
+        self.n_params = n_params
+        self.returns_value = returns_value
+
+
+class _Scope:
+    """A lexical block scope mapping names to their category."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.vars: Dict[str, Kind] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Optional[Kind]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, kind: Kind, node: ast.Node) -> None:
+        if name in self.vars:
+            raise SemanticError(
+                "duplicate declaration of %r" % name,
+                node.line, node.column)
+        self.vars[name] = kind
+
+
+def _any_return_value(stmts: List[ast.Stmt]) -> bool:
+    """Whether any (possibly nested) ``return expr;`` exists."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return True
+        if isinstance(stmt, ast.If):
+            if _any_return_value(stmt.body) or _any_return_value(stmt.orelse):
+                return True
+        elif isinstance(stmt, (ast.While, ast.For)):
+            if _any_return_value(stmt.body):
+                return True
+    return False
+
+
+class Analyzer:
+    """Walks the AST performing all semantic checks."""
+
+    def __init__(self, module: ast.Module):
+        self._module = module
+        self._sigs: Dict[str, FuncSig] = {}
+        self._current: Optional[FuncSig] = None
+        self._loop_depth = 0
+
+    def run(self) -> Dict[str, FuncSig]:
+        """Analyze the module; returns the function signature table."""
+        for fn in self._module.functions:
+            if fn.name in self._sigs:
+                raise SemanticError(
+                    "duplicate function %r" % fn.name, fn.line, fn.column)
+            if fn.name in BUILTINS:
+                raise SemanticError(
+                    "function %r shadows a builtin" % fn.name,
+                    fn.line, fn.column)
+            self._sigs[fn.name] = FuncSig(
+                fn.name, len(fn.params), _any_return_value(fn.body))
+        for fn in self._module.functions:
+            self._check_function(fn)
+        return self._sigs
+
+    # -- functions --------------------------------------------------------
+
+    def _check_function(self, fn: ast.FuncDecl) -> None:
+        self._current = self._sigs[fn.name]
+        self._loop_depth = 0
+        scope = _Scope()
+        seen = set()
+        for p in fn.params:
+            if p in seen:
+                raise SemanticError(
+                    "duplicate parameter %r" % p, fn.line, fn.column)
+            seen.add(p)
+            # Parameter category is unconstrained at the boundary; treat
+            # as numeric unless indexed — we approximate by inferring from
+            # use.  For simplicity, parameters start as NUM and may be
+            # re-declared ARRAY by first use as an array.
+            scope.declare(p, Kind.NUM, fn)
+        self._params = set(fn.params)
+        self._check_block(fn.body, scope)
+
+    # -- statements -------------------------------------------------------
+
+    def _check_block(self, stmts: List[ast.Stmt], parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            kind = self._check_expr(stmt.init, scope)
+            if kind is Kind.VOID:
+                raise SemanticError(
+                    "cannot initialize %r from a void call" % stmt.name,
+                    stmt.line, stmt.column)
+            scope.declare(stmt.name, kind, stmt)
+        elif isinstance(stmt, ast.Assign):
+            declared = scope.lookup(stmt.name)
+            if declared is None:
+                raise SemanticError(
+                    "assignment to undeclared variable %r" % stmt.name,
+                    stmt.line, stmt.column)
+            kind = self._check_expr(stmt.value, scope)
+            if kind is Kind.VOID:
+                raise SemanticError(
+                    "cannot assign a void call to %r" % stmt.name,
+                    stmt.line, stmt.column)
+            if kind is not declared and self._is_param_relax(stmt.name):
+                self._redeclare_param(scope, stmt.name, kind)
+            elif kind is not declared:
+                raise SemanticError(
+                    "%r is %s but assigned a %s value"
+                    % (stmt.name, declared.value, kind.value),
+                    stmt.line, stmt.column)
+        elif isinstance(stmt, ast.StoreIndex):
+            base_kind = self._check_expr(stmt.target.base, scope,
+                                         want_array=True)
+            if base_kind is not Kind.ARRAY:
+                raise SemanticError(
+                    "indexed store into a non-array",
+                    stmt.line, stmt.column)
+            if self._check_expr(stmt.target.index, scope) is not Kind.NUM:
+                raise SemanticError(
+                    "array index must be numeric", stmt.line, stmt.column)
+            if self._check_expr(stmt.value, scope) is not Kind.NUM:
+                raise SemanticError(
+                    "array element must be numeric", stmt.line, stmt.column)
+        elif isinstance(stmt, ast.If):
+            self._require_num(stmt.cond, scope, "if condition")
+            self._check_block(stmt.body, scope)
+            self._check_block(stmt.orelse, scope)
+        elif isinstance(stmt, ast.While):
+            self._require_num(stmt.cond, scope, "while condition")
+            self._loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            self._require_num(stmt.cond, inner, "for condition")
+            self._loop_depth += 1
+            self._check_block(stmt.body, inner)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            assert self._current is not None
+            if stmt.value is not None:
+                if not self._current.returns_value:
+                    raise SemanticError(
+                        "inconsistent returns in %r" % self._current.name,
+                        stmt.line, stmt.column)
+                kind = self._check_expr(stmt.value, scope)
+                if kind is Kind.VOID:
+                    raise SemanticError(
+                        "cannot return a void call",
+                        stmt.line, stmt.column)
+            elif self._current.returns_value:
+                raise SemanticError(
+                    "inconsistent returns in %r" % self._current.name,
+                    stmt.line, stmt.column)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(
+                    "%s outside a loop" % word, stmt.line, stmt.column)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope, allow_void=True)
+        elif isinstance(stmt, ast.Print):
+            self._require_num(stmt.expr, scope, "print argument")
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise AssertionError("unknown statement %r" % stmt)
+
+    def _is_param_relax(self, name: str) -> bool:
+        """Parameters may be narrowed from NUM to ARRAY on first use."""
+        return name in self._params
+
+    def _redeclare_param(self, scope: _Scope, name: str, kind: Kind) -> None:
+        walk: Optional[_Scope] = scope
+        while walk is not None:
+            if name in walk.vars:
+                walk.vars[name] = kind
+                return
+            walk = walk.parent
+
+    # -- expressions -----------------------------------------------------
+
+    def _require_num(self, expr: ast.Expr, scope: _Scope, what: str) -> None:
+        if self._check_expr(expr, scope) is not Kind.NUM:
+            raise SemanticError(
+                "%s must be numeric" % what, expr.line, expr.column)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope,
+                    allow_void: bool = False,
+                    want_array: bool = False) -> Kind:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+            return Kind.NUM
+        if isinstance(expr, ast.Name):
+            kind = scope.lookup(expr.ident)
+            if kind is None:
+                raise SemanticError(
+                    "use of undeclared variable %r" % expr.ident,
+                    expr.line, expr.column)
+            if want_array and kind is Kind.NUM and expr.ident in self._params:
+                self._redeclare_param(scope, expr.ident, Kind.ARRAY)
+                return Kind.ARRAY
+            return kind
+        if isinstance(expr, ast.Index):
+            base = self._check_expr(expr.base, scope, want_array=True)
+            if base is not Kind.ARRAY:
+                raise SemanticError(
+                    "indexing a non-array", expr.line, expr.column)
+            if self._check_expr(expr.index, scope) is not Kind.NUM:
+                raise SemanticError(
+                    "array index must be numeric", expr.line, expr.column)
+            return Kind.NUM
+        if isinstance(expr, ast.Unary):
+            kind = self._check_expr(expr.operand, scope)
+            if kind is not Kind.NUM:
+                raise SemanticError(
+                    "unary %r needs a numeric operand" % expr.op,
+                    expr.line, expr.column)
+            return Kind.NUM
+        if isinstance(expr, ast.Binary):
+            lhs = self._check_expr(expr.lhs, scope)
+            rhs = self._check_expr(expr.rhs, scope)
+            if lhs is not Kind.NUM or rhs is not Kind.NUM:
+                raise SemanticError(
+                    "binary %r needs numeric operands" % expr.op,
+                    expr.line, expr.column)
+            return Kind.NUM
+        if isinstance(expr, ast.Logical):
+            self._require_num(expr.lhs, scope, "operand of %r" % expr.op)
+            self._require_num(expr.rhs, scope, "operand of %r" % expr.op)
+            return Kind.NUM
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope, allow_void)
+        raise AssertionError("unknown expression %r" % expr)
+
+    def _check_call(self, expr: ast.Call, scope: _Scope,
+                    allow_void: bool) -> Kind:
+        name = expr.callee
+        if name == "array":
+            if len(expr.args) != 1:
+                raise SemanticError(
+                    "array(n) takes exactly one argument",
+                    expr.line, expr.column)
+            self._require_num(expr.args[0], scope, "array length")
+            return Kind.ARRAY
+        if name == "len":
+            if len(expr.args) != 1:
+                raise SemanticError(
+                    "len(a) takes exactly one argument",
+                    expr.line, expr.column)
+            kind = self._check_expr(expr.args[0], scope, want_array=True)
+            if kind is not Kind.ARRAY:
+                raise SemanticError(
+                    "len() needs an array", expr.line, expr.column)
+            return Kind.NUM
+        if name in ("int", "float"):
+            if len(expr.args) != 1:
+                raise SemanticError(
+                    "%s(x) takes exactly one argument" % name,
+                    expr.line, expr.column)
+            self._require_num(expr.args[0], scope, "%s() argument" % name)
+            return Kind.NUM
+        if name in INTRINSIC_ARITY:
+            want = INTRINSIC_ARITY[name]
+            if len(expr.args) != want:
+                raise SemanticError(
+                    "%s() takes %d argument(s), got %d"
+                    % (name, want, len(expr.args)),
+                    expr.line, expr.column)
+            for arg in expr.args:
+                self._require_num(arg, scope, "%s() argument" % name)
+            return Kind.NUM
+        sig = self._sigs.get(name)
+        if sig is None:
+            raise SemanticError(
+                "call to unknown function %r" % name,
+                expr.line, expr.column)
+        if len(expr.args) != sig.n_params:
+            raise SemanticError(
+                "%s() takes %d argument(s), got %d"
+                % (name, sig.n_params, len(expr.args)),
+                expr.line, expr.column)
+        for arg in expr.args:
+            kind = self._check_expr(arg, scope)
+            if kind is Kind.VOID:
+                raise SemanticError(
+                    "void call used as an argument",
+                    expr.line, expr.column)
+        if not sig.returns_value:
+            if not allow_void:
+                raise SemanticError(
+                    "void function %r used as a value" % name,
+                    expr.line, expr.column)
+            return Kind.VOID
+        return Kind.NUM
+
+
+def analyze(module: ast.Module) -> Dict[str, FuncSig]:
+    """Run semantic analysis; returns the signature table."""
+    return Analyzer(module).run()

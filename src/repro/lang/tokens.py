@@ -1,0 +1,76 @@
+"""Token definitions for the minijava front-end.
+
+The paper's Jrpm system consumes Java bytecode; our workloads are written
+in *minijava*, a small imperative language with ints, floats and
+one-dimensional arrays that compiles to the bytecode ISA in
+:mod:`repro.bytecode`.  The language is just rich enough to express the
+loop structures of the paper's 26 benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class TokKind(enum.Enum):
+    """Lexical token categories."""
+
+    INT = "int literal"
+    FLOAT = "float literal"
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    OP = "operator"
+    PUNCT = "punctuation"
+    EOF = "end of input"
+
+
+class Token(NamedTuple):
+    """A single token with its source position (1-based)."""
+
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        """Human-readable form for error messages."""
+        if self.kind is TokKind.EOF:
+            return "end of input"
+        return "%s %r" % (self.kind.value, self.text)
+
+
+#: Reserved words.  ``array`` and the intrinsics are ordinary identifiers
+#: resolved during semantic analysis, not keywords.
+KEYWORDS = frozenset(
+    [
+        "func",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "print",
+    ]
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_OPS = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+)
+
+#: Single-character operators.
+SINGLE_OPS = frozenset("+-*/%<>!&|^~=")
+
+#: Punctuation characters.
+PUNCT = frozenset("()[]{},;")

@@ -1,0 +1,37 @@
+"""Sequential execution substrate: heap, cost model, events, interpreter.
+
+This package stands in for one Hydra core executing JIT-compiled code
+sequentially (stage 2 of the Jrpm pipeline, Figure 1 of the paper).
+"""
+
+from repro.runtime.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.events import (
+    LOCAL_ADDRESS_BASE,
+    LoopMark,
+    MemEvent,
+    MulticastListener,
+    RecordingListener,
+    TraceListener,
+    local_address,
+)
+from repro.runtime.heap import LINE_SIZE, WORD_SIZE, Heap, line_of
+from repro.runtime.interpreter import Interpreter, RunResult, run_program
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Heap",
+    "Interpreter",
+    "LINE_SIZE",
+    "LOCAL_ADDRESS_BASE",
+    "LoopMark",
+    "MemEvent",
+    "MulticastListener",
+    "RecordingListener",
+    "RunResult",
+    "TraceListener",
+    "WORD_SIZE",
+    "line_of",
+    "local_address",
+    "run_program",
+]

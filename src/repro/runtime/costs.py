@@ -1,0 +1,98 @@
+"""Cycle-cost model for the interpreter.
+
+The paper's thread sizes and dependency arc lengths are measured in
+cycles on Hydra's single-issue pipelined MIPS cores.  We substitute a
+deterministic per-opcode cost table; absolute values are calibrated to
+plausible single-issue latencies, but what matters to the reproduction
+is that they are *consistent* between the sequential run (where TEST
+measures) and the TLS timing simulation (where the prediction is
+validated).
+
+Annotation costs model Section 5.1's slowdown sources (Figure 6):
+``LWL``/``SWL`` are one extra instruction each, loop markers a couple of
+cycles, and ``READSTATS`` — reading the comparator-bank counters out of
+the TEST device at loop exit — is the expensive one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bytecode.opcodes import BinOp, Op
+
+
+class CostModel:
+    """Maps opcodes (and BIN sub-opcodes) to cycle costs."""
+
+    def __init__(self,
+                 op_costs: Dict[Op, int] = None,
+                 bin_costs: Dict[BinOp, int] = None):
+        self.op_costs = dict(_DEFAULT_OP_COSTS)
+        if op_costs:
+            self.op_costs.update(op_costs)
+        self.bin_costs = dict(_DEFAULT_BIN_COSTS)
+        if bin_costs:
+            self.bin_costs.update(bin_costs)
+
+    def cost(self, op: Op, sub: int = 0) -> int:
+        """Cycles consumed by one instruction."""
+        if op == Op.BIN:
+            return self.bin_costs.get(BinOp(sub), 1)
+        return self.op_costs.get(op, 1)
+
+    def annotation_cycles(self, op: Op) -> int:
+        """Cost of an annotation op (0 for non-annotations); used by the
+        slowdown accounting in :mod:`repro.jit.annotate`."""
+        if op in (Op.SLOOP, Op.EOI, Op.ELOOP, Op.LWL, Op.SWL, Op.READSTATS):
+            return self.op_costs.get(op, 1)
+        return 0
+
+
+_DEFAULT_OP_COSTS: Dict[Op, int] = {
+    Op.CONST: 1,
+    Op.MOV: 1,
+    Op.UN: 1,
+    Op.NEWARR: 30,
+    # one IR array access expands to a null check, bounds check,
+    # index scaling, address add, and the access itself in JIT-compiled
+    # JVM code on a single-issue MIPS, hence several cycles per L1 hit
+    Op.ALOAD: 6,
+    Op.ASTORE: 6,
+    Op.LEN: 1,
+    Op.JMP: 1,
+    Op.BR: 2,          # compare-and-branch + delay slot
+    Op.CALL: 6,        # call linkage + frame setup
+    Op.RET: 3,
+    Op.INTRIN: 16,     # FP library routine
+    Op.PRINT: 1,
+    Op.NOP: 1,
+    # annotations (Table 4 / Figure 6 cost sources)
+    Op.SLOOP: 2,
+    Op.EOI: 1,
+    Op.ELOOP: 2,
+    Op.LWL: 1,
+    Op.SWL: 1,
+    Op.READSTATS: 64,  # drain comparator-bank counters at loop exit
+}
+
+_DEFAULT_BIN_COSTS: Dict[BinOp, int] = {
+    BinOp.ADD: 1,
+    BinOp.SUB: 1,
+    BinOp.MUL: 4,
+    BinOp.DIV: 12,
+    BinOp.MOD: 12,
+    BinOp.AND: 1,
+    BinOp.OR: 1,
+    BinOp.XOR: 1,
+    BinOp.SHL: 1,
+    BinOp.SHR: 1,
+    BinOp.LT: 1,
+    BinOp.LE: 1,
+    BinOp.GT: 1,
+    BinOp.GE: 1,
+    BinOp.EQ: 1,
+    BinOp.NE: 1,
+}
+
+#: Shared default instance (immutable by convention).
+DEFAULT_COSTS = CostModel()

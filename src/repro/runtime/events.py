@@ -1,0 +1,174 @@
+"""Trace-event listener protocol.
+
+The interpreter publishes the events the TEST hardware observes
+(Section 5.1 / Table 4 of the paper):
+
+* heap loads and stores with byte addresses (communicated automatically
+  by the memory instructions when tracing is enabled);
+* annotated local-variable loads/stores (``lwl``/``swl``);
+* STL markers (``sloop``/``eoi``/``eloop``) and statistics reads.
+
+Every callback receives the current cycle timestamp.  Local variables
+are identified by ``(frame_id, slot)`` so recursion never aliases.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class TraceListener:
+    """Base listener; every callback defaults to a no-op.
+
+    Subclasses: the TEST device (:class:`repro.tracer.device.TestDevice`),
+    the software-only profiler, and the recording listener below.
+    """
+
+    def on_load(self, address: int, cycle: int,
+                fn: str = "", pc: int = -1) -> None:
+        """A heap load of ``address`` completed at ``cycle``.
+
+        ``fn``/``pc`` identify the load instruction — the extended TEST
+        implementation (Section 6.3) bins dependency statistics by load
+        PC; basic listeners ignore them.
+        """
+
+    def on_store(self, address: int, cycle: int,
+                 fn: str = "", pc: int = -1) -> None:
+        """A heap store to ``address`` completed at ``cycle``."""
+
+    def on_local_load(self, frame_id: int, slot: int, cycle: int,
+                      fn: str = "", pc: int = -1) -> None:
+        """An annotated local-variable load (``lwl``)."""
+
+    def on_local_store(self, frame_id: int, slot: int, cycle: int,
+                       fn: str = "", pc: int = -1) -> None:
+        """An annotated local-variable store (``swl``)."""
+
+    def on_sloop(self, loop_id: int, n_locals: int, cycle: int,
+                 frame_id: int = -1) -> None:
+        """Entry into a potential STL (``sloop``).
+
+        ``frame_id`` is the activation record executing the loop; banks
+        use it to ignore same-numbered local slots of other frames.
+        """
+
+    def on_eoi(self, loop_id: int, cycle: int) -> None:
+        """End of one STL iteration (``eoi``)."""
+
+    def on_eloop(self, loop_id: int, cycle: int) -> None:
+        """Exit from a potential STL (``eloop``)."""
+
+    def on_readstats(self, loop_id: int, cycle: int) -> None:
+        """The program read collected statistics for ``loop_id``."""
+
+
+class MemEvent(NamedTuple):
+    """One recorded memory/local event, for trace-driven TLS simulation."""
+
+    cycle: int
+    kind: str          # 'ld', 'st', 'lld', 'lst'
+    address: int       # byte address; locals use a synthetic space
+
+
+class LoopMark(NamedTuple):
+    """One recorded loop marker."""
+
+    cycle: int
+    kind: str          # 'sloop', 'eoi', 'eloop'
+    loop_id: int
+
+
+#: Synthetic address space for local variables: far above any heap
+#: address, one "word" per (frame, slot).
+LOCAL_ADDRESS_BASE = 1 << 40
+
+
+def local_address(frame_id: int, slot: int) -> int:
+    """Synthetic byte address for a local variable."""
+    return LOCAL_ADDRESS_BASE + (frame_id << 16) + slot * 4
+
+
+class RecordingListener(TraceListener):
+    """Records the full event stream, for the TLS trace splitter
+    (:mod:`repro.tls.thread_trace`) and for tests.
+
+    ``loop_filter`` optionally restricts loop marks to one loop id; memory
+    events are always recorded (the splitter windows them by marks).
+    """
+
+    def __init__(self, loop_filter: int = None):
+        self.mem: List[MemEvent] = []
+        self.marks: List[LoopMark] = []
+        #: frame id of each recorded sloop mark, in order
+        self.sloop_frames: List[int] = []
+        self._loop_filter = loop_filter
+
+    def on_load(self, address, cycle, fn="", pc=-1):
+        self.mem.append(MemEvent(cycle, "ld", address))
+
+    def on_store(self, address, cycle, fn="", pc=-1):
+        self.mem.append(MemEvent(cycle, "st", address))
+
+    def on_local_load(self, frame_id, slot, cycle, fn="", pc=-1):
+        self.mem.append(
+            MemEvent(cycle, "lld", local_address(frame_id, slot)))
+
+    def on_local_store(self, frame_id, slot, cycle, fn="", pc=-1):
+        self.mem.append(
+            MemEvent(cycle, "lst", local_address(frame_id, slot)))
+
+    def _want(self, loop_id: int) -> bool:
+        return self._loop_filter is None or loop_id == self._loop_filter
+
+    def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "sloop", loop_id))
+            self.sloop_frames.append(frame_id)
+
+    def on_eoi(self, loop_id: int, cycle: int) -> None:
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "eoi", loop_id))
+
+    def on_eloop(self, loop_id: int, cycle: int) -> None:
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "eloop", loop_id))
+
+
+class MulticastListener(TraceListener):
+    """Fans one event stream out to several listeners."""
+
+    def __init__(self, listeners):
+        self.listeners = list(listeners)
+
+    def on_load(self, address, cycle, fn="", pc=-1):
+        for lst in self.listeners:
+            lst.on_load(address, cycle, fn, pc)
+
+    def on_store(self, address, cycle, fn="", pc=-1):
+        for lst in self.listeners:
+            lst.on_store(address, cycle, fn, pc)
+
+    def on_local_load(self, frame_id, slot, cycle, fn="", pc=-1):
+        for lst in self.listeners:
+            lst.on_local_load(frame_id, slot, cycle, fn, pc)
+
+    def on_local_store(self, frame_id, slot, cycle, fn="", pc=-1):
+        for lst in self.listeners:
+            lst.on_local_store(frame_id, slot, cycle, fn, pc)
+
+    def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
+        for lst in self.listeners:
+            lst.on_sloop(loop_id, n_locals, cycle, frame_id)
+
+    def on_eoi(self, loop_id, cycle):
+        for lst in self.listeners:
+            lst.on_eoi(loop_id, cycle)
+
+    def on_eloop(self, loop_id, cycle):
+        for lst in self.listeners:
+            lst.on_eloop(loop_id, cycle)
+
+    def on_readstats(self, loop_id, cycle):
+        for lst in self.listeners:
+            lst.on_readstats(loop_id, cycle)

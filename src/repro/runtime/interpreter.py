@@ -1,0 +1,269 @@
+"""Sequential cycle-cost interpreter.
+
+This is the reproduction's stand-in for a single Hydra core running
+JIT-compiled native code.  It executes bytecode deterministically,
+accumulates a cycle count from :class:`~repro.runtime.costs.CostModel`,
+and — when a :class:`~repro.runtime.events.TraceListener` is attached —
+publishes exactly the events the TEST hardware would observe.
+
+Design notes
+------------
+* The call stack is explicit (no Python recursion), so deeply recursive
+  workloads cannot blow the host stack.
+* Per-function cycle costs are precomputed into flat lists; the hot loop
+  is a single ``if/elif`` dispatch over the opcode int.
+* ``max_instructions`` bounds runaway programs with a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Function, Program
+from repro.errors import ExecutionError, HeapError
+from repro.runtime.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.events import TraceListener
+from repro.runtime.heap import Heap
+from repro.runtime.values import apply_binop, apply_intrinsic, apply_unop
+
+
+class RunResult:
+    """Outcome of one program execution."""
+
+    def __init__(self, cycles: int, instructions: int, return_value,
+                 heap: Heap, printed: List):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.return_value = return_value
+        self.heap = heap
+        self.printed = printed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RunResult cycles=%d instrs=%d ret=%r>" % (
+            self.cycles, self.instructions, self.return_value)
+
+
+class _Frame:
+    """One activation record."""
+
+    __slots__ = ("fn", "code", "costs", "pc", "slots", "dst", "frame_id")
+
+    def __init__(self, fn: Function, code, costs, slots, dst: int,
+                 frame_id: int):
+        self.fn = fn
+        self.code = code
+        self.costs = costs
+        self.pc = 0
+        self.slots = slots
+        self.dst = dst
+        self.frame_id = frame_id
+
+
+class Interpreter:
+    """Executes a :class:`~repro.bytecode.program.Program`."""
+
+    def __init__(self, program: Program,
+                 cost_model: CostModel = None,
+                 listener: Optional[TraceListener] = None,
+                 max_instructions: int = 200_000_000):
+        self.program = program
+        self.cost_model = cost_model if cost_model is not None \
+            else DEFAULT_COSTS
+        self.listener = listener
+        self.max_instructions = max_instructions
+        self._cost_cache = {}
+
+    def patch_cost(self, fn_name: str, pc: int, op: Op) -> None:
+        """Refresh one cached instruction cost after code patching (the
+        runtime overwrites converged loops' READSTATS with NOPs, and
+        running frames hold a reference to the cached cost list)."""
+        cached = self._cost_cache.get(fn_name)
+        if cached is not None:
+            cached[pc] = self.cost_model.cost(op)
+
+    def _costs_for(self, fn: Function) -> List[int]:
+        cached = self._cost_cache.get(fn.name)
+        if cached is None:
+            cost = self.cost_model.cost
+            cached = [cost(ins.op, ins.sub) for ins in fn.code]
+            self._cost_cache[fn.name] = cached
+        return cached
+
+    def run(self) -> RunResult:
+        """Execute from the entry function to completion."""
+        heap = Heap()
+        printed: List = []
+        listener = self.listener
+        next_frame_id = 0
+
+        entry = self.program.main
+        frame = _Frame(entry, entry.code, self._costs_for(entry),
+                       [0] * entry.n_slots, -1, next_frame_id)
+        next_frame_id += 1
+        stack: List[_Frame] = []
+
+        cycles = 0
+        executed = 0
+        limit = self.max_instructions
+        return_value = None
+
+        while True:
+            code = frame.code
+            costs = frame.costs
+            slots = frame.slots
+            pc = frame.pc
+            # inner loop over the current frame; broken by CALL/RET
+            while True:
+                ins = code[pc]
+                op = ins.op
+                cycles += costs[pc]
+                executed += 1
+                if executed > limit:
+                    raise ExecutionError(
+                        "instruction budget exceeded (%d)" % limit,
+                        pc, frame.fn.name)
+                if op == Op.BIN:
+                    try:
+                        slots[ins.a] = apply_binop(
+                            ins.sub, slots[ins.b], slots[ins.c])
+                    except ExecutionError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    pc += 1
+                elif op == Op.CONST:
+                    slots[ins.a] = ins.imm
+                    pc += 1
+                elif op == Op.MOV:
+                    slots[ins.a] = slots[ins.b]
+                    pc += 1
+                elif op == Op.BR:
+                    pc = ins.b if slots[ins.a] else ins.c
+                elif op == Op.JMP:
+                    pc = ins.a
+                elif op == Op.ALOAD:
+                    try:
+                        slots[ins.a] = heap.load(slots[ins.b], slots[ins.c])
+                    except HeapError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    if listener is not None:
+                        listener.on_load(
+                            heap.address(slots[ins.b], slots[ins.c]),
+                            cycles, frame.fn.name, pc)
+                    pc += 1
+                elif op == Op.ASTORE:
+                    try:
+                        heap.store(slots[ins.a], slots[ins.b], slots[ins.c])
+                    except HeapError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    if listener is not None:
+                        listener.on_store(
+                            heap.address(slots[ins.a], slots[ins.b]),
+                            cycles, frame.fn.name, pc)
+                    pc += 1
+                elif op == Op.UN:
+                    try:
+                        slots[ins.a] = apply_unop(ins.sub, slots[ins.b])
+                    except ExecutionError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    pc += 1
+                elif op == Op.NEWARR:
+                    try:
+                        slots[ins.a] = heap.allocate(slots[ins.b])
+                    except HeapError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    pc += 1
+                elif op == Op.LEN:
+                    try:
+                        slots[ins.a] = heap.length(slots[ins.b])
+                    except HeapError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    pc += 1
+                elif op == Op.INTRIN:
+                    try:
+                        slots[ins.a] = apply_intrinsic(
+                            ins.name, [slots[s] for s in ins.args])
+                    except ExecutionError as exc:
+                        raise ExecutionError(
+                            str(exc), pc, frame.fn.name) from None
+                    pc += 1
+                elif op == Op.CALL:
+                    callee = self.program.functions.get(ins.name)
+                    if callee is None:
+                        raise ExecutionError(
+                            "call to unknown function %r" % ins.name,
+                            pc, frame.fn.name)
+                    new_slots = [0] * callee.n_slots
+                    for i, arg_slot in enumerate(ins.args):
+                        new_slots[i] = slots[arg_slot]
+                    frame.pc = pc + 1
+                    stack.append(frame)
+                    frame = _Frame(callee, callee.code,
+                                   self._costs_for(callee),
+                                   new_slots, ins.a, next_frame_id)
+                    next_frame_id += 1
+                    break
+                elif op == Op.RET:
+                    value = slots[ins.a] if ins.a >= 0 else None
+                    if not stack:
+                        return_value = value
+                        return RunResult(cycles, executed, return_value,
+                                         heap, printed)
+                    caller = stack.pop()
+                    if frame.dst >= 0:
+                        caller.slots[frame.dst] = value
+                    frame = caller
+                    break
+                # --- annotations --------------------------------------
+                elif op == Op.LWL:
+                    if listener is not None:
+                        listener.on_local_load(
+                            frame.frame_id, ins.a, cycles,
+                            frame.fn.name, pc)
+                    pc += 1
+                elif op == Op.SWL:
+                    if listener is not None:
+                        listener.on_local_store(
+                            frame.frame_id, ins.a, cycles,
+                            frame.fn.name, pc)
+                    pc += 1
+                elif op == Op.EOI:
+                    if listener is not None:
+                        listener.on_eoi(ins.a, cycles)
+                    pc += 1
+                elif op == Op.SLOOP:
+                    if listener is not None:
+                        listener.on_sloop(ins.a, ins.b, cycles,
+                                          frame.frame_id)
+                    pc += 1
+                elif op == Op.ELOOP:
+                    if listener is not None:
+                        listener.on_eloop(ins.a, cycles)
+                    pc += 1
+                elif op == Op.READSTATS:
+                    if listener is not None:
+                        listener.on_readstats(ins.a, cycles)
+                    pc += 1
+                elif op == Op.PRINT:
+                    printed.append(slots[ins.a])
+                    pc += 1
+                elif op == Op.NOP:
+                    pc += 1
+                else:  # pragma: no cover - exhaustive
+                    raise ExecutionError(
+                        "unknown opcode %r" % op, pc, frame.fn.name)
+
+
+def run_program(program: Program,
+                cost_model: CostModel = None,
+                listener: Optional[TraceListener] = None,
+                max_instructions: int = 200_000_000) -> RunResult:
+    """One-call convenience wrapper around :class:`Interpreter`."""
+    interp = Interpreter(program, cost_model=cost_model, listener=listener,
+                         max_instructions=max_instructions)
+    return interp.run()

@@ -1,0 +1,140 @@
+"""Arithmetic semantics for bytecode values.
+
+Values are Python ints and floats; array handles are ints issued by the
+heap (they live in the same slot file, as on a real register machine).
+Arithmetic follows Java-like rules — the paper's substrate is a JVM:
+
+* ``/`` truncates toward zero for int/int, is IEEE for floats;
+* ``%`` takes the sign of the dividend (Java remainder), not Python's
+  floor-mod;
+* shifts and bitwise operators require int operands;
+* comparisons yield 0/1 ints.
+
+Integers are unbounded (workloads that need wrap-around mask manually);
+this keeps the interpreter simple and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bytecode.opcodes import BinOp, UnOp
+from repro.errors import ExecutionError
+
+
+def _require_ints(op_name: str, lhs, rhs) -> None:
+    if isinstance(lhs, float) or isinstance(rhs, float):
+        raise ExecutionError(
+            "%s requires int operands, got %r and %r" % (op_name, lhs, rhs))
+
+
+def java_div(lhs, rhs):
+    """Division: truncating for int/int, IEEE for floats."""
+    if rhs == 0:
+        if isinstance(lhs, float) or isinstance(rhs, float):
+            raise ExecutionError("float division by zero")
+        raise ExecutionError("integer division by zero")
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        q = abs(lhs) // abs(rhs)
+        return q if (lhs >= 0) == (rhs >= 0) else -q
+    return lhs / rhs
+
+
+def java_mod(lhs, rhs):
+    """Remainder with the sign of the dividend (Java semantics)."""
+    if rhs == 0:
+        raise ExecutionError("modulo by zero")
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        return lhs - java_div(lhs, rhs) * rhs
+    return math.fmod(lhs, rhs)
+
+
+def apply_binop(sub: int, lhs, rhs):
+    """Apply a :class:`~repro.bytecode.opcodes.BinOp` to two values."""
+    if sub == BinOp.ADD:
+        return lhs + rhs
+    if sub == BinOp.SUB:
+        return lhs - rhs
+    if sub == BinOp.MUL:
+        return lhs * rhs
+    if sub == BinOp.DIV:
+        return java_div(lhs, rhs)
+    if sub == BinOp.MOD:
+        return java_mod(lhs, rhs)
+    if sub == BinOp.LT:
+        return 1 if lhs < rhs else 0
+    if sub == BinOp.LE:
+        return 1 if lhs <= rhs else 0
+    if sub == BinOp.GT:
+        return 1 if lhs > rhs else 0
+    if sub == BinOp.GE:
+        return 1 if lhs >= rhs else 0
+    if sub == BinOp.EQ:
+        return 1 if lhs == rhs else 0
+    if sub == BinOp.NE:
+        return 1 if lhs != rhs else 0
+    if sub == BinOp.AND:
+        _require_ints("&", lhs, rhs)
+        return lhs & rhs
+    if sub == BinOp.OR:
+        _require_ints("|", lhs, rhs)
+        return lhs | rhs
+    if sub == BinOp.XOR:
+        _require_ints("^", lhs, rhs)
+        return lhs ^ rhs
+    if sub == BinOp.SHL:
+        _require_ints("<<", lhs, rhs)
+        if rhs < 0:
+            raise ExecutionError("negative shift count %d" % rhs)
+        return lhs << rhs
+    if sub == BinOp.SHR:
+        _require_ints(">>", lhs, rhs)
+        if rhs < 0:
+            raise ExecutionError("negative shift count %d" % rhs)
+        return lhs >> rhs
+    raise ExecutionError("unknown BIN sub-opcode %d" % sub)
+
+
+def apply_unop(sub: int, value):
+    """Apply a :class:`~repro.bytecode.opcodes.UnOp` to a value."""
+    if sub == UnOp.NEG:
+        return -value
+    if sub == UnOp.NOT:
+        return 0 if value else 1
+    if sub == UnOp.INV:
+        if isinstance(value, float):
+            raise ExecutionError("~ requires an int operand, got %r" % value)
+        return ~value
+    if sub == UnOp.I2F:
+        return float(value)
+    if sub == UnOp.F2I:
+        return int(value)
+    raise ExecutionError("unknown UN sub-opcode %d" % sub)
+
+
+def apply_intrinsic(name: str, args):
+    """Evaluate a pure intrinsic call."""
+    try:
+        if name == "sqrt":
+            return math.sqrt(args[0])
+        if name == "sin":
+            return math.sin(args[0])
+        if name == "cos":
+            return math.cos(args[0])
+        if name == "exp":
+            return math.exp(args[0])
+        if name == "log":
+            return math.log(args[0])
+        if name == "abs":
+            return abs(args[0])
+        if name == "floor":
+            return math.floor(args[0])
+        if name == "min":
+            return min(args[0], args[1])
+        if name == "max":
+            return max(args[0], args[1])
+        if name == "pow":
+            return math.pow(args[0], args[1])
+    except ValueError as exc:
+        raise ExecutionError("intrinsic %s%r: %s" % (name, tuple(args), exc))
+    raise ExecutionError("unknown intrinsic %r" % name)

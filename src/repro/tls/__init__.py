@@ -1,0 +1,33 @@
+"""Trace-driven TLS execution simulator: validates TEST's predictions
+by actually scheduling the selected STLs' threads on the Hydra model
+(the "Actual" series of Figure 11)."""
+
+from repro.tls.simulator import (
+    EntryResult,
+    TLSResult,
+    TLSSimulator,
+    simulate_stl,
+)
+from repro.tls.stats import ProgramTLSOutcome
+from repro.tls.thread_trace import (
+    EntryTrace,
+    ThreadEvent,
+    ThreadTrace,
+    local_frame_of,
+    local_slot_of,
+    split_trace,
+)
+
+__all__ = [
+    "EntryResult",
+    "EntryTrace",
+    "ProgramTLSOutcome",
+    "TLSResult",
+    "TLSSimulator",
+    "ThreadEvent",
+    "ThreadTrace",
+    "local_frame_of",
+    "local_slot_of",
+    "simulate_stl",
+    "split_trace",
+]

@@ -1,0 +1,274 @@
+"""Trace-driven TLS timing simulator for Hydra (the "Actual" series of
+Figure 11).
+
+Given the thread traces of one selected STL and its speculative
+compilation summary, the simulator schedules the threads over the CMP's
+``p`` CPUs under Hydra's rules:
+
+* threads are dispatched in sequential order, round-robin over CPUs; a
+  CPU is busy until its previous thread *commits* (speculative state
+  must drain first);
+* a RAW violation — a speculative thread loaded an address before an
+  earlier thread's store to it — restarts the consumer at the store
+  time plus the Table 2 violation/restart penalty;
+* compiler-eliminated locals (inductors, reductions, invariants) never
+  conflict; globalized (forwarded) locals synchronize with the
+  store-load communication delay instead of violating;
+* loads a thread's own store already covered do not violate (the store
+  buffer forwards them);
+* per-thread speculative state is tracked in a true 4-way LRU model of
+  the L1 read state and a fully associative store-buffer model; when a
+  thread overflows, it stalls at the overflow point until it becomes the
+  head (non-speculative) thread;
+* threads commit in order; loop startup/shutdown and per-thread EOI
+  overheads from Table 2 are charged.
+
+Because the estimator works from *averaged* statistics while this
+simulator replays the *actual* per-iteration behaviour (thread-size
+variance, real violation timing, associativity), their disagreement
+reproduces the imprecision effects of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.hydra.cache import FullyAssocBuffer, SetAssocCache
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jit.speculative import STLCompilation
+from repro.runtime.heap import line_of
+from repro.tls.thread_trace import (
+    EntryTrace,
+    ThreadTrace,
+    local_frame_of,
+    local_slot_of,
+)
+
+
+class EntryResult:
+    """Timing outcome of one STL entry under TLS."""
+
+    __slots__ = ("parallel_cycles", "sequential_cycles", "violations",
+                 "overflows", "threads")
+
+    def __init__(self, parallel_cycles: int, sequential_cycles: int,
+                 violations: int, overflows: int, threads: int):
+        self.parallel_cycles = parallel_cycles
+        self.sequential_cycles = sequential_cycles
+        self.violations = violations
+        self.overflows = overflows
+        self.threads = threads
+
+
+class TLSResult:
+    """Aggregate TLS outcome for one STL across all its entries."""
+
+    def __init__(self, loop_id: int):
+        self.loop_id = loop_id
+        self.parallel_cycles = 0
+        self.sequential_cycles = 0
+        self.violations = 0
+        self.overflows = 0
+        self.threads = 0
+        self.entries = 0
+
+    def add(self, entry: EntryResult) -> None:
+        self.parallel_cycles += entry.parallel_cycles
+        self.sequential_cycles += entry.sequential_cycles
+        self.violations += entry.violations
+        self.overflows += entry.overflows
+        self.threads += entry.threads
+        self.entries += 1
+
+    @property
+    def speedup(self) -> float:
+        """Measured speculative speedup over sequential execution."""
+        if self.parallel_cycles <= 0:
+            return 1.0
+        return self.sequential_cycles / self.parallel_cycles
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations per thread."""
+        return self.violations / self.threads if self.threads else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("<TLSResult L%d %.2fx viol/thread=%.3f ovf=%d>"
+                % (self.loop_id, self.speedup, self.violation_rate,
+                   self.overflows))
+
+
+class TLSSimulator:
+    """Schedules one STL's thread traces onto the speculative CMP."""
+
+    def __init__(self, compilation: STLCompilation,
+                 config: HydraConfig = DEFAULT_HYDRA):
+        self.compilation = compilation
+        self.config = config
+
+    # -- public API ----------------------------------------------------------
+
+    def simulate(self, entries: List[EntryTrace]) -> TLSResult:
+        """Simulate every entry of the STL."""
+        result = TLSResult(self.compilation.loop_id)
+        for entry in entries:
+            result.add(self.simulate_entry(entry))
+        return result
+
+    def simulate_entry(self, entry: EntryTrace) -> EntryResult:
+        cfg = self.config
+        comp = self.compilation
+        p = cfg.n_cpus
+        threads = entry.threads
+        n = len(threads)
+        if n == 0:
+            return EntryResult(0, entry.total_cycles, 0, 0, 0)
+
+        #: address -> (producer thread index, absolute store time, local?)
+        last_store: Dict[int, Tuple[int, int, bool]] = {}
+        cpu_free = [0] * p
+        commit_prev = 0
+        clock0 = cfg.startup_overhead  # loop startup before thread 0
+        prev_start = clock0
+        violations = 0
+        overflows = 0
+
+        for j, thread in enumerate(threads):
+            classified = self._classify_events(thread, entry.frame_id)
+            base = max(cpu_free[j % p], prev_start)
+            if j == 0:
+                base = max(base, clock0)
+            start, restarts = self._resolve_start(
+                base, classified, last_store, j)
+            violations += restarts
+
+            overflow_at = self._overflow_point(classified)
+            eoi = cfg.eoi_overhead
+            if overflow_at is None:
+                finish = start + thread.size + eoi
+            else:
+                overflows += 1
+                # stall at the overflow point until head, then drain
+                resume = max(start + overflow_at, commit_prev)
+                finish = resume + (thread.size - overflow_at) + eoi
+
+            commit = max(finish, commit_prev)
+            commit_prev = commit
+            cpu_free[j % p] = commit
+            prev_start = start
+
+            # publish this thread's stores for later consumers
+            for rel, kind, addr, is_local in classified:
+                if kind == "st":
+                    last_store[addr] = (j, start + rel, is_local)
+
+        parallel = commit_prev + cfg.shutdown_overhead
+        return EntryResult(parallel, entry.total_cycles,
+                           violations, overflows, n)
+
+    # -- internals ------------------------------------------------------------
+
+    def _classify_events(self, thread: ThreadTrace, frame_id: int
+                         ) -> List[Tuple[int, str, int, bool]]:
+        """Normalize events to (rel, 'ld'|'st', address, is_local),
+        dropping compiler-eliminated local accesses."""
+        comp = self.compilation
+        out: List[Tuple[int, str, int, bool]] = []
+        for rel, kind, addr in thread.events:
+            if kind == "ld":
+                out.append((rel, "ld", addr, False))
+            elif kind == "st":
+                out.append((rel, "st", addr, False))
+            else:
+                slot = local_slot_of(addr)
+                if slot is None:
+                    continue
+                if comp.is_eliminated_local(local_frame_of(addr), slot):
+                    continue
+                out.append((rel, "ld" if kind == "lld" else "st",
+                            addr, True))
+        return out
+
+    def _resolve_start(self, base: int,
+                       events: List[Tuple[int, str, int, bool]],
+                       last_store: Dict[int, Tuple[int, int, bool]],
+                       j: int) -> Tuple[int, int]:
+        """Earliest start time satisfying all cross-thread dependencies,
+        counting restarts for heap violations."""
+        cfg = self.config
+        start = base
+        restarts = 0
+        # constraints: (load rel, store abs time, is_local)
+        constraints: List[Tuple[int, int, bool]] = []
+        own: set = set()
+        for rel, kind, addr, is_local in events:
+            if kind == "st":
+                own.add(addr)
+                continue
+            if addr in own:
+                continue  # forwarded from this thread's own store buffer
+            prod = last_store.get(addr)
+            if prod is None or prod[0] >= j:
+                continue
+            constraints.append((rel, prod[1], is_local))
+
+        synchronize_heap = self.compilation.synchronize_heap
+        # forwarded locals — and, with the Section 6.3 synchronization
+        # optimization, heap dependences too — wait for the producer
+        # plus the store-load communication delay instead of violating
+        for rel, store_abs, is_local in constraints:
+            if is_local or synchronize_heap:
+                need = store_abs + cfg.store_load_comm_overhead - rel
+                if need > start:
+                    start = need
+        if synchronize_heap:
+            return start, restarts
+
+        # Heap dependencies: a violation fires when the producing store
+        # executes and the consumer has already read the address; the
+        # consumer restarts *then* (store time + restart penalty) and
+        # re-executes, so later loads land later and may no longer
+        # violate.  Each restart strictly raises the start time, so this
+        # converges; the guard only protects against a modelling bug.
+        heap_deps = [(rel, store_abs)
+                     for rel, store_abs, is_local in constraints
+                     if not is_local]
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100_000:  # pragma: no cover - safety net
+                raise SimulationError(
+                    "violation resolution did not converge")
+            violated = [store_abs for rel, store_abs in heap_deps
+                        if start + rel < store_abs]
+            if not violated:
+                break
+            restarts += 1
+            start = min(violated) + cfg.violation_restart_overhead
+        return start, restarts
+
+    def _overflow_point(self, events: List[Tuple[int, str, int, bool]]
+                        ) -> Optional[int]:
+        """Thread-relative cycle of the first speculative-buffer
+        overflow, if any (true associativity modelled)."""
+        cfg = self.config
+        cache = SetAssocCache(cfg.load_buffer_lines, cfg.load_buffer_assoc)
+        store_buf = FullyAssocBuffer(cfg.store_buffer_lines)
+        for rel, kind, addr, is_local in events:
+            if is_local:
+                continue  # locals live in registers / the stack frame
+            line = line_of(addr)
+            if kind == "ld":
+                if cache.touch(line):
+                    return rel
+            else:
+                if store_buf.touch(line):
+                    return rel
+        return None
+
+
+def simulate_stl(compilation: STLCompilation, entries: List[EntryTrace],
+                 config: HydraConfig = DEFAULT_HYDRA) -> TLSResult:
+    """One-call wrapper: simulate all entries of one selected STL."""
+    return TLSSimulator(compilation, config).simulate(entries)

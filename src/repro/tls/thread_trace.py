@@ -1,0 +1,147 @@
+"""Splitting a recorded sequential trace into speculative threads.
+
+The TLS timing simulator is trace-driven (the same methodology as the
+limit studies the paper cites): the annotated program runs once
+sequentially with a :class:`~repro.runtime.events.RecordingListener`
+attached, and this module windows the event stream of one selected STL
+into *entries* and *threads* (= iterations), each with its cycle length
+and its memory/local events at thread-relative times.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.events import (
+    LOCAL_ADDRESS_BASE,
+    MemEvent,
+    RecordingListener,
+)
+
+
+class ThreadEvent(NamedTuple):
+    """One memory event at a thread-relative cycle offset."""
+
+    rel_cycle: int
+    kind: str        # 'ld' | 'st' | 'lld' | 'lst'
+    address: int
+
+
+class ThreadTrace:
+    """One speculative thread (one loop iteration)."""
+
+    __slots__ = ("size", "events")
+
+    def __init__(self, size: int, events: List[ThreadEvent]):
+        #: sequential cycle length of the iteration
+        self.size = size
+        self.events = events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ThreadTrace size=%d events=%d>" % (
+            self.size, len(self.events))
+
+
+class EntryTrace:
+    """One dynamic entry of the STL: an ordered list of threads."""
+
+    __slots__ = ("threads", "total_cycles", "frame_id")
+
+    def __init__(self, threads: List[ThreadTrace], total_cycles: int,
+                 frame_id: int):
+        self.threads = threads
+        #: sequential cycles from sloop to eloop (includes the exit tail)
+        self.total_cycles = total_cycles
+        #: the frame that executed this entry (for local classification)
+        self.frame_id = frame_id
+
+
+def local_slot_of(address: int) -> Optional[int]:
+    """Slot number encoded in a synthetic local address, if it is one."""
+    if address < LOCAL_ADDRESS_BASE:
+        return None
+    return (address & 0xFFFF) // 4
+
+
+def local_frame_of(address: int) -> Optional[int]:
+    """Frame id encoded in a synthetic local address, if it is one."""
+    if address < LOCAL_ADDRESS_BASE:
+        return None
+    return (address - LOCAL_ADDRESS_BASE) >> 16
+
+
+def split_trace(recording: RecordingListener, loop_id: int
+                ) -> List[EntryTrace]:
+    """Window ``recording`` into the entry/thread traces of ``loop_id``.
+
+    Thread boundaries follow the tracer's convention: a thread completes
+    at each ``eoi``; the tail between the final ``eoi`` and ``eloop`` is
+    the loop's exit evaluation and is appended to the last thread (it
+    must execute *somewhere*; in compiled speculative code it is part of
+    the final iteration).  Entries with no ``eoi`` become one thread.
+    """
+    mem = recording.mem
+    cycles = [e.cycle for e in mem]
+
+    entries: List[EntryTrace] = []
+    open_start: Optional[int] = None
+    boundaries: List[int] = []
+    frame_id = -1
+    global_sloop = -1  # index into recording.sloop_frames (all loops)
+
+    for mark in recording.marks:
+        if mark.kind == "sloop":
+            global_sloop += 1
+        if mark.loop_id != loop_id:
+            continue
+        if mark.kind == "sloop":
+            if open_start is not None:
+                raise SimulationError(
+                    "nested activation of loop L%d in trace" % loop_id)
+            open_start = mark.cycle
+            frame_id = (recording.sloop_frames[global_sloop]
+                        if 0 <= global_sloop < len(recording.sloop_frames)
+                        else -1)
+            boundaries = [mark.cycle]
+        elif mark.kind == "eoi":
+            if open_start is None:
+                raise SimulationError(
+                    "eoi without sloop for loop L%d" % loop_id)
+            boundaries.append(mark.cycle)
+        elif mark.kind == "eloop":
+            if open_start is None:
+                raise SimulationError(
+                    "eloop without sloop for loop L%d" % loop_id)
+            entries.append(_build_entry(
+                mem, cycles, boundaries, mark.cycle, frame_id))
+            open_start = None
+    if open_start is not None:
+        raise SimulationError(
+            "trace ended inside an activation of loop L%d" % loop_id)
+    return entries
+
+
+def _build_entry(mem: List[MemEvent], cycles: List[int],
+                 boundaries: List[int], end: int,
+                 frame_id: int) -> EntryTrace:
+    start = boundaries[0]
+    # thread windows: consecutive boundary pairs, final tail folded into
+    # the last thread
+    if len(boundaries) == 1:
+        windows: List[Tuple[int, int]] = [(start, end)]
+    else:
+        windows = [(boundaries[i], boundaries[i + 1])
+                   for i in range(len(boundaries) - 1)]
+        windows[-1] = (windows[-1][0], end)
+
+    threads: List[ThreadTrace] = []
+    for w_start, w_end in windows:
+        lo = bisect_left(cycles, w_start)
+        hi = bisect_left(cycles, w_end)
+        events = [ThreadEvent(mem[i].cycle - w_start, mem[i].kind,
+                              mem[i].address)
+                  for i in range(lo, hi)]
+        threads.append(ThreadTrace(w_end - w_start, events))
+    return EntryTrace(threads, end - start, frame_id)

@@ -1,0 +1,115 @@
+"""Equation 1: estimated speculative speedup of an STL from TEST
+statistics (Section 4.3).
+
+The published equation is typographically corrupted in the scanned
+paper; this is the reconstruction derived in DESIGN.md, which matches
+every constraint the prose states:
+
+* With thread size ``T`` and a critical arc of length ``A`` spanning
+  ``k`` threads, consecutive thread starts must be at least
+  ``(kT - A)/k`` apart for the dependent load to execute after the
+  producing store; CPU reuse on ``p`` processors requires at least
+  ``T/p``.  The arc-limited speedup is therefore
+  ``min(p, kT / (kT - A))`` — which saturates at ``p = 4`` exactly when
+  ``A >= (3/4) T`` for previous-thread arcs, as the paper states.
+* ``base_speedup`` mixes the two arc bins by their measured critical-arc
+  frequencies; arc-free threads run at the full ``p``.
+* ``spec_time`` adds the Table 2 overheads — startup+shutdown per entry,
+  end-of-iteration per thread, store-load communication for forwarded
+  locals — and serializes the overflowing fraction of threads (an
+  overflowed thread stalls until it is the head, gaining nothing).
+* ``speedup = orig_time / spec_time``, capped at ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.tracer.stats import STLStats
+
+
+class SpeedupEstimate:
+    """Equation 1's result, with its intermediate terms exposed."""
+
+    def __init__(self, loop_id: int, speedup: float, base_speedup: float,
+                 spec_time: float, orig_time: int,
+                 overflow_freq: float):
+        self.loop_id = loop_id
+        #: the headline estimate (1.0 means "no benefit")
+        self.speedup = speedup
+        #: dependency-arc-limited parallel speedup before overheads
+        self.base_speedup = base_speedup
+        #: estimated speculative execution time in cycles
+        self.spec_time = spec_time
+        #: measured sequential time in cycles
+        self.orig_time = orig_time
+        self.overflow_freq = overflow_freq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<SpeedupEstimate L%d %.2fx (base %.2fx, ovf %.2f)>" % (
+            self.loop_id, self.speedup, self.base_speedup,
+            self.overflow_freq)
+
+
+def arc_limited_speedup(thread_size: float, arc_length: float,
+                        span: int, n_cpus: int) -> float:
+    """Speedup permitted by one critical arc.
+
+    ``span`` is the thread distance the arc crosses (1 for t-1 arcs;
+    2 approximates the <t-1 bin, whose true distance the two-bin
+    hardware cannot represent — an imprecision the paper accepts).
+    """
+    if thread_size <= 0:
+        return float(n_cpus)
+    window = span * thread_size
+    if arc_length >= window * (n_cpus - 1) / n_cpus:
+        return float(n_cpus)
+    slack = window - arc_length
+    if slack <= 0:
+        return float(n_cpus)
+    return max(1.0, min(float(n_cpus), window / slack))
+
+
+def base_speedup(stats: STLStats, n_cpus: int) -> float:
+    """Arc-frequency-weighted parallel speedup (no overheads yet)."""
+    t_size = stats.avg_thread_size
+    f_prev = min(1.0, stats.arc_freq_prev)
+    f_earl = min(1.0 - f_prev, stats.arc_freq_earlier)
+    s_prev = arc_limited_speedup(t_size, stats.avg_arc_len_prev, 1, n_cpus)
+    s_earl = arc_limited_speedup(t_size, stats.avg_arc_len_earlier, 2,
+                                 n_cpus)
+    f_none = max(0.0, 1.0 - f_prev - f_earl)
+    mix = f_prev * s_prev + f_earl * s_earl + f_none * n_cpus
+    return max(1.0, mix)
+
+
+def estimate_speedup(stats: STLStats,
+                     config: HydraConfig = DEFAULT_HYDRA
+                     ) -> SpeedupEstimate:
+    """Apply Equation 1 to one STL's accumulated statistics."""
+    orig_time = stats.cycles
+    if stats.threads == 0 or stats.profiled_threads == 0 \
+            or orig_time <= 0:
+        return SpeedupEstimate(stats.loop_id, 1.0, 1.0,
+                               float(orig_time), orig_time, 0.0)
+
+    base = base_speedup(stats, config.n_cpus)
+    # a loop entered with fewer iterations than CPUs cannot fill the CMP
+    iters = stats.avg_iters_per_entry
+    if 0 < iters < config.n_cpus:
+        base = min(base, max(1.0, iters))
+    overflow_freq = stats.overflow_freq
+
+    entry_overhead = (config.startup_overhead
+                      + config.shutdown_overhead) * stats.entries
+    thread_overhead = config.eoi_overhead * stats.threads
+    comm_overhead = (config.store_load_comm_overhead
+                     * stats.local_arc_freq * stats.threads)
+
+    spec_time = (entry_overhead + thread_overhead + comm_overhead
+                 + overflow_freq * orig_time
+                 + (1.0 - overflow_freq) * orig_time / base)
+
+    speedup = orig_time / spec_time if spec_time > 0 else 1.0
+    speedup = min(float(config.n_cpus), speedup)
+    return SpeedupEstimate(stats.loop_id, speedup, base, spec_time,
+                           orig_time, overflow_freq)

@@ -1,0 +1,121 @@
+"""Extended TEST: per-load-PC dependency binning (Section 6.3, Fig. 8b).
+
+In the extended hardware, the critical-arc calculation block's registers
+are replaced by content-addressable SRAM so critical-arc lengths, counts
+and accumulated lengths can be *binned by the load instruction's PC*.
+A programmer or compiler then sees exactly which loads carry the
+dependencies that limit an STL — the paper used this to restructure
+NumericSort, Huffman, db and MipsSimulator.
+
+:class:`ExtendedTestDevice` is a drop-in replacement for
+:class:`~repro.tracer.device.TestDevice` that collects these profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.tracer.device import TestDevice
+
+
+class ArcBin:
+    """Accumulated critical-arc statistics for one load site."""
+
+    __slots__ = ("fn", "pc", "count", "total_length", "min_length",
+                 "max_length")
+
+    def __init__(self, fn: str, pc: int):
+        self.fn = fn
+        self.pc = pc
+        self.count = 0
+        self.total_length = 0
+        self.min_length = None
+        self.max_length = 0
+
+    def add(self, length: int) -> None:
+        self.count += 1
+        self.total_length += length
+        if self.min_length is None or length < self.min_length:
+            self.min_length = length
+        if length > self.max_length:
+            self.max_length = length
+
+    @property
+    def avg_length(self) -> float:
+        return self.total_length / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ArcBin %s:%d n=%d avg=%.1f>" % (
+            self.fn, self.pc, self.count, self.avg_length)
+
+
+class DependencyProfile:
+    """All arc bins for one STL, queryable by severity."""
+
+    def __init__(self, loop_id: int):
+        self.loop_id = loop_id
+        self.bins: Dict[Tuple[str, int, str], ArcBin] = {}
+
+    def add(self, bin_kind: str, length: int, fn: str, pc: int) -> None:
+        key = (fn, pc, bin_kind)
+        entry = self.bins.get(key)
+        if entry is None:
+            entry = ArcBin(fn, pc)
+            self.bins[key] = entry
+        entry.add(length)
+
+    def hottest(self, limit: int = 10) -> List[ArcBin]:
+        """Load sites causing the most critical arcs, worst first."""
+        return sorted(self.bins.values(),
+                      key=lambda b: (-b.count, b.avg_length))[:limit]
+
+    def limiting(self, thread_size: float,
+                 fraction: float = 0.5) -> List[ArcBin]:
+        """Load sites whose average arc is much shorter than the thread
+        size — the paper's signal that moving the load/store or adding
+        synchronization would pay off (Section 6.3)."""
+        return [b for b in self.hottest(limit=len(self.bins))
+                if thread_size > 0
+                and b.avg_length < fraction * thread_size]
+
+
+class ExtendedTestDevice(TestDevice):
+    """TEST with the per-PC critical-arc SRAM of Figure 8b."""
+
+    def __init__(self, config: HydraConfig = DEFAULT_HYDRA,
+                 strict: bool = True):
+        super().__init__(config, arc_sink=self._record_arc, strict=strict)
+        self.profiles: Dict[int, DependencyProfile] = {}
+
+    def _record_arc(self, loop_id: int, bin_kind: str, length: int,
+                    fn: str, pc: int) -> None:
+        profile = self.profiles.get(loop_id)
+        if profile is None:
+            profile = DependencyProfile(loop_id)
+            self.profiles[loop_id] = profile
+        profile.add(bin_kind, length, fn, pc)
+
+    def profile_for(self, loop_id: int) -> DependencyProfile:
+        """The dependency profile of one loop (empty if never armed)."""
+        return self.profiles.get(loop_id, DependencyProfile(loop_id))
+
+    def report(self, loop_id: int, limit: int = 8) -> str:
+        """Human-readable optimization guidance for one STL."""
+        stats = self.stats.get(loop_id)
+        profile = self.profile_for(loop_id)
+        lines = ["Dependency profile for STL L%d" % loop_id]
+        if stats is not None:
+            lines.append("  avg thread size: %.1f cycles"
+                         % stats.avg_thread_size)
+        if not profile.bins:
+            lines.append("  (no critical arcs recorded)")
+            return "\n".join(lines)
+        lines.append("  %-28s %6s %10s %8s" %
+                     ("load site", "arcs", "avg length", "bin"))
+        for (fn, pc, kind), b in sorted(
+                profile.bins.items(),
+                key=lambda kv: -kv[1].count)[:limit]:
+            lines.append("  %-28s %6d %10.1f %8s" %
+                         ("%s:%d" % (fn, pc), b.count, b.avg_length, kind))
+        return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Equation 2: choosing the optimal set of STLs (Section 4.3, Table 3).
+
+Only one thread decomposition can be active at a time, so for every
+loop-nest chain the runtime must choose one level.  Equation 2 compares
+the estimated speculative time of a loop against the best achievable by
+its *nested* decompositions plus the serial remainder:
+
+    time_this / speedup_this
+        vs.
+    (time_this - sum(time_nested)) + sum(time_nested / best_nested)
+
+The nest structure used here is the **dynamic** one recorded by the TEST
+device (loops nested through method calls included), reduced to a forest
+via each loop's dominant parent.  A straightforward tree DP then yields
+the optimal antichain of decompositions and the program-level breakdown
+(Figure 10): selected STLs, their coverage, and the serial remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.tracer.device import TestDevice
+from repro.tracer.estimator import SpeedupEstimate, estimate_speedup
+from repro.tracer.stats import STLStats
+
+
+class LoopDecision:
+    """Equation 2's verdict for one profiled loop."""
+
+    def __init__(self, loop_id: int, stats: STLStats,
+                 estimate: SpeedupEstimate):
+        self.loop_id = loop_id
+        self.stats = stats
+        self.estimate = estimate
+        self.children: List["LoopDecision"] = []
+        self.parent_id = -1
+        #: best achievable time for this subtree (cycles)
+        self.best_time = float(stats.cycles)
+        #: True when speculating at THIS level beats delegating
+        self.speculate_here = False
+
+    @property
+    def sequential_time(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def time_if_speculated(self) -> float:
+        speedup = self.estimate.speedup
+        return self.stats.cycles / speedup if speedup > 0 \
+            else float(self.stats.cycles)
+
+
+class SelectedSTL:
+    """One loop chosen for speculative recompilation."""
+
+    def __init__(self, decision: LoopDecision):
+        self.loop_id = decision.loop_id
+        self.stats = decision.stats
+        self.estimate = decision.estimate
+
+    @property
+    def sequential_cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def predicted_cycles(self) -> float:
+        return self.stats.cycles / self.estimate.speedup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<SelectedSTL L%d %.2fx over %d cycles>" % (
+            self.loop_id, self.estimate.speedup, self.stats.cycles)
+
+
+class SelectionResult:
+    """Program-level outcome of Equation 2."""
+
+    def __init__(self, selected: List[SelectedSTL],
+                 decisions: Dict[int, LoopDecision],
+                 total_cycles: int):
+        #: chosen STLs, by descending sequential coverage
+        self.selected = selected
+        #: every profiled loop's decision record
+        self.decisions = decisions
+        #: whole-program sequential cycles
+        self.total_cycles = total_cycles
+
+    @property
+    def covered_cycles(self) -> int:
+        """Sequential cycles inside selected STLs (disjoint by
+        construction — the selection is an antichain of the nest)."""
+        return sum(s.sequential_cycles for s in self.selected)
+
+    @property
+    def serial_cycles(self) -> int:
+        """Sequential cycles not covered by any selected STL."""
+        return max(0, self.total_cycles - self.covered_cycles)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of execution covered by selected STLs (Figure 10)."""
+        return self.covered_cycles / self.total_cycles \
+            if self.total_cycles else 0.0
+
+    @property
+    def predicted_cycles(self) -> float:
+        """Predicted whole-program speculative time (Figure 10/11)."""
+        return self.serial_cycles + sum(
+            s.predicted_cycles for s in self.selected)
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted whole-program speedup."""
+        pred = self.predicted_cycles
+        return self.total_cycles / pred if pred > 0 else 1.0
+
+    def selected_ids(self) -> List[int]:
+        return [s.loop_id for s in self.selected]
+
+    def significant(self, min_coverage: float = 0.005
+                    ) -> List[SelectedSTL]:
+        """Selected STLs with at least ``min_coverage`` of total time
+        (the paper's Table 6 reports loops with > 0.5% coverage)."""
+        floor = min_coverage * self.total_cycles
+        return [s for s in self.selected if s.sequential_cycles >= floor]
+
+
+def select_stls(device: TestDevice, total_cycles: int,
+                config: HydraConfig = DEFAULT_HYDRA,
+                min_speedup: float = 1.05,
+                min_cycles: int = 200) -> SelectionResult:
+    """Run Equation 2 over every loop the device profiled.
+
+    ``min_speedup`` is the selection threshold: speculating on a loop
+    whose predicted gain is below it is not worth the recompilation (the
+    decomposition stays sequential).  ``min_cycles`` drops loops with
+    negligible measured time.
+    """
+    decisions: Dict[int, LoopDecision] = {}
+    for loop_id, stats in device.stats.items():
+        if stats.cycles < min_cycles or stats.threads == 0 \
+                or stats.profiled_threads == 0:
+            continue
+        decisions[loop_id] = LoopDecision(
+            loop_id, stats, estimate_speedup(stats, config))
+
+    # build the dynamic forest (dominant parent, cycles must nest)
+    roots: List[LoopDecision] = []
+    for dec in decisions.values():
+        parent_id = device.dominant_parent(dec.loop_id)
+        parent = decisions.get(parent_id)
+        if parent is not None \
+                and parent.stats.cycles >= dec.stats.cycles:
+            dec.parent_id = parent_id
+            parent.children.append(dec)
+        else:
+            roots.append(dec)
+
+    # Equation 2 tree DP, leaves upward (iterative post-order)
+    def resolve(dec: LoopDecision) -> None:
+        child_seq = sum(c.stats.cycles for c in dec.children)
+        child_seq = min(child_seq, dec.stats.cycles)
+        child_best = sum(c.best_time for c in dec.children)
+        delegate = (dec.stats.cycles - child_seq) + child_best
+        here = dec.time_if_speculated
+        worthwhile = dec.estimate.speedup >= min_speedup
+        if worthwhile and here < delegate:
+            dec.best_time = here
+            dec.speculate_here = True
+        else:
+            dec.best_time = delegate
+            dec.speculate_here = False
+
+    stack: List = [(r, False) for r in roots]
+    while stack:
+        dec, expanded = stack.pop()
+        if expanded:
+            resolve(dec)
+        else:
+            stack.append((dec, True))
+            stack.extend((c, False) for c in dec.children)
+
+    # harvest the chosen antichain
+    selected: List[SelectedSTL] = []
+
+    def harvest(dec: LoopDecision) -> None:
+        if dec.speculate_here:
+            selected.append(SelectedSTL(dec))
+            return
+        for child in dec.children:
+            harvest(child)
+
+    for root in roots:
+        harvest(root)
+    selected.sort(key=lambda s: -s.sequential_cycles)
+
+    # A loop reached from several dynamic parents (e.g. a helper called
+    # from two different loops) appears under only its dominant parent
+    # in the forest, so the DP alone cannot guarantee disjoint coverage.
+    # Enforce a true antichain over *all* recorded dynamic-parent edges:
+    # keep the larger decomposition, drop any selected descendant.
+    ancestors = {s.loop_id: _ancestor_closure(device, s.loop_id)
+                 for s in selected}
+    kept: List[SelectedSTL] = []
+    kept_ids: set = set()
+    for cand in selected:
+        lid = cand.loop_id
+        related = (ancestors[lid] & kept_ids) or any(
+            lid in ancestors[k] for k in kept_ids)
+        if related:
+            continue
+        kept.append(cand)
+        kept_ids.add(lid)
+    return SelectionResult(kept, decisions, total_cycles)
+
+
+def _ancestor_closure(device: TestDevice, loop_id: int) -> set:
+    """All transitive dynamic parents of ``loop_id`` (every recorded
+    parent edge, not just the dominant one)."""
+    seen: set = set()
+    work = [loop_id]
+    while work:
+        node = work.pop()
+        for parent in device.dynamic_parents.get(node, {}):
+            if parent < 0 or parent in seen:
+                continue
+            seen.add(parent)
+            work.append(parent)
+    return seen

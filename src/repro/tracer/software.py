@@ -1,0 +1,122 @@
+"""Software-only profiling baseline (Section 5, first paragraph).
+
+"Simulations indicate program execution slows over 100x when profiling
+using a software-only implementation of the trace analyses."  The
+overheads come from callback annotations on *every* memory and local
+variable access plus the software comparisons that resolve inter-thread
+dependencies and speculative-state requirements.
+
+:class:`SoftwareProfiler` performs the same analyses as the hardware
+device — it simply *is* the device — but charges realistic
+target-machine cycle costs for every event, modelling what the
+callbacks would cost if Hydra executed them in software:
+
+* every heap access: callback linkage, a hash probe of the store
+  timestamp table, a line-table probe, plus per-active-STL dependency
+  and overflow comparisons;
+* every local access: callback linkage plus a timestamp-table update or
+  probe with per-STL comparisons;
+* loop markers: bookkeeping for the per-STL state machine.
+
+The modelled slowdown is ``(orig_cycles + overhead_cycles) /
+orig_cycles``; contrast with the 3-25% of the hardware tracer
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.tracer.device import TestDevice
+
+
+class SoftwareCosts:
+    """Cycle costs of software profiling callbacks on a single-issue
+    core.  Defaults assume a hand-tuned native callback: register
+    save/restore and linkage, a hash probe (~index arithmetic, load,
+    compare, occasional chain walk), and a handful of compares and
+    counter updates per active STL."""
+
+    def __init__(self,
+                 callback_linkage: int = 18,
+                 hash_probe: int = 22,
+                 line_probe: int = 14,
+                 per_bank_dependency: int = 16,
+                 per_bank_overflow: int = 12,
+                 local_probe: int = 16,
+                 loop_marker: int = 40,
+                 stats_read: int = 64):
+        self.callback_linkage = callback_linkage
+        self.hash_probe = hash_probe
+        self.line_probe = line_probe
+        self.per_bank_dependency = per_bank_dependency
+        self.per_bank_overflow = per_bank_overflow
+        self.local_probe = local_probe
+        self.loop_marker = loop_marker
+        self.stats_read = stats_read
+
+
+class SoftwareProfiler(TestDevice):
+    """The trace analyses implemented "in software": identical results
+    to :class:`TestDevice`, plus a modelled overhead cycle count."""
+
+    def __init__(self, config: HydraConfig = DEFAULT_HYDRA,
+                 costs: SoftwareCosts = None, strict: bool = True):
+        super().__init__(config, strict=strict)
+        self.costs = costs if costs is not None else SoftwareCosts()
+        #: modelled cycles the software callbacks would have consumed
+        self.overhead_cycles = 0
+
+    # Each hook charges its modelled cost, then defers to the device.
+
+    def _depth(self) -> int:
+        return len(self._stack)
+
+    def on_load(self, address, cycle, fn="", pc=-1):
+        c = self.costs
+        self.overhead_cycles += (
+            c.callback_linkage + c.hash_probe + c.line_probe
+            + self._depth() * (c.per_bank_dependency + c.per_bank_overflow))
+        super().on_load(address, cycle, fn, pc)
+
+    def on_store(self, address, cycle, fn="", pc=-1):
+        c = self.costs
+        self.overhead_cycles += (
+            c.callback_linkage + c.hash_probe + c.line_probe
+            + self._depth() * c.per_bank_overflow)
+        super().on_store(address, cycle, fn, pc)
+
+    def on_local_load(self, frame_id, slot, cycle, fn="", pc=-1):
+        c = self.costs
+        self.overhead_cycles += (
+            c.callback_linkage + c.local_probe
+            + self._depth() * c.per_bank_dependency)
+        super().on_local_load(frame_id, slot, cycle, fn, pc)
+
+    def on_local_store(self, frame_id, slot, cycle, fn="", pc=-1):
+        c = self.costs
+        self.overhead_cycles += c.callback_linkage + c.local_probe
+        super().on_local_store(frame_id, slot, cycle, fn, pc)
+
+    def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
+        self.overhead_cycles += self.costs.loop_marker
+        super().on_sloop(loop_id, n_locals, cycle, frame_id)
+
+    def on_eoi(self, loop_id, cycle):
+        # software must finalize the thread: compare and accumulate every
+        # counter the comparator bank keeps in parallel for free
+        self.overhead_cycles += self.costs.loop_marker
+        super().on_eoi(loop_id, cycle)
+
+    def on_eloop(self, loop_id, cycle):
+        self.overhead_cycles += self.costs.loop_marker
+        super().on_eloop(loop_id, cycle)
+
+    def on_readstats(self, loop_id, cycle):
+        self.overhead_cycles += self.costs.stats_read
+        super().on_readstats(loop_id, cycle)
+
+    def slowdown(self, orig_cycles: int) -> float:
+        """Modelled execution-time multiplier vs. unprofiled code."""
+        if orig_cycles <= 0:
+            return 1.0
+        return (orig_cycles + self.overhead_cycles) / orig_cycles

@@ -1,0 +1,171 @@
+"""Per-STL statistics: the raw counters and derived values of Figure 3.
+
+A :class:`STLStats` accumulates across every entry of one potential STL
+during a profiled sequential run.  The raw counters match the paper's
+"Values derived from counters" table exactly; the derived properties
+match its "Derived values" column:
+
+* average thread size         = cycles / threads
+* average iterations/entry    = threads / entries
+* critical-arc frequency      = arcs / (threads - 1), per bin
+* average critical-arc length = accumulated lengths / arcs, per bin
+* overflow frequency          = overflowing threads / threads
+"""
+
+from __future__ import annotations
+
+
+class STLStats:
+    """Accumulated trace statistics for one potential STL."""
+
+    __slots__ = (
+        "loop_id",
+        "cycles",
+        "entries",
+        "threads",
+        "profiled_entries",
+        "profiled_threads",
+        "arcs_prev",
+        "arc_len_prev",
+        "arcs_earlier",
+        "arc_len_earlier",
+        "local_arcs",
+        "overflow_threads",
+        "load_lines_total",
+        "store_lines_total",
+        "max_load_lines",
+        "max_store_lines",
+        "dynamic_depth",
+    )
+
+    def __init__(self, loop_id: int):
+        self.loop_id = loop_id
+        #: total cycles elapsed inside the loop (all entries)
+        self.cycles = 0
+        #: number of loop entries (sloop events)
+        self.entries = 0
+        #: number of completed threads (iterations)
+        self.threads = 0
+        #: entries/threads observed while a comparator bank was armed —
+        #: the denominators for arc and overflow frequencies once the
+        #: runtime disables a converged loop's analysis (Section 5.2)
+        self.profiled_entries = 0
+        self.profiled_threads = 0
+        #: critical-arc count / accumulated length, to the previous thread
+        self.arcs_prev = 0
+        self.arc_len_prev = 0
+        #: critical-arc count / accumulated length, to earlier threads
+        self.arcs_earlier = 0
+        self.arc_len_earlier = 0
+        #: critical arcs whose producer was a local variable (these become
+        #: globalized store-load communication after compilation)
+        self.local_arcs = 0
+        #: threads whose buffer requirements exceeded the Table 1 limits
+        self.overflow_threads = 0
+        #: summed per-thread new-line counts (diagnostics / ablations)
+        self.load_lines_total = 0
+        self.store_lines_total = 0
+        #: worst single-thread buffer demand observed
+        self.max_load_lines = 0
+        self.max_store_lines = 0
+        #: deepest dynamic STL nesting observed at entry (Table 6 col d)
+        self.dynamic_depth = 0
+
+    # -- derived values (Figure 3) ----------------------------------------
+
+    @property
+    def avg_thread_size(self) -> float:
+        """Average thread size in cycles."""
+        return self.cycles / self.threads if self.threads else 0.0
+
+    @property
+    def avg_iters_per_entry(self) -> float:
+        """Average iterations per loop entry."""
+        return self.threads / self.entries if self.entries else 0.0
+
+    @property
+    def arc_freq_prev(self) -> float:
+        """Critical-arc frequency to the previous thread."""
+        denom = self.profiled_threads - self.profiled_entries
+        return self.arcs_prev / denom if denom > 0 else 0.0
+
+    @property
+    def arc_freq_earlier(self) -> float:
+        """Critical-arc frequency to earlier (< t-1) threads."""
+        denom = self.profiled_threads - self.profiled_entries
+        return self.arcs_earlier / denom if denom > 0 else 0.0
+
+    @property
+    def avg_arc_len_prev(self) -> float:
+        """Average critical-arc length to the previous thread."""
+        return self.arc_len_prev / self.arcs_prev if self.arcs_prev else 0.0
+
+    @property
+    def avg_arc_len_earlier(self) -> float:
+        """Average critical-arc length to earlier threads."""
+        return self.arc_len_earlier / self.arcs_earlier \
+            if self.arcs_earlier else 0.0
+
+    @property
+    def overflow_freq(self) -> float:
+        """Fraction of profiled threads exceeding the buffer limits."""
+        return self.overflow_threads / self.profiled_threads \
+            if self.profiled_threads else 0.0
+
+    @property
+    def local_arc_freq(self) -> float:
+        """Fraction of profiled threads carrying a local critical arc."""
+        return self.local_arcs / self.profiled_threads \
+            if self.profiled_threads else 0.0
+
+    def merge(self, other: "STLStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.cycles += other.cycles
+        self.entries += other.entries
+        self.threads += other.threads
+        self.profiled_entries += other.profiled_entries
+        self.profiled_threads += other.profiled_threads
+        self.arcs_prev += other.arcs_prev
+        self.arc_len_prev += other.arc_len_prev
+        self.arcs_earlier += other.arcs_earlier
+        self.arc_len_earlier += other.arc_len_earlier
+        self.local_arcs += other.local_arcs
+        self.overflow_threads += other.overflow_threads
+        self.load_lines_total += other.load_lines_total
+        self.store_lines_total += other.store_lines_total
+        self.max_load_lines = max(self.max_load_lines, other.max_load_lines)
+        self.max_store_lines = max(self.max_store_lines,
+                                   other.max_store_lines)
+        self.dynamic_depth = max(self.dynamic_depth, other.dynamic_depth)
+
+    def render(self) -> str:
+        """Figure 3-style text table of raw and derived values."""
+        rows = [
+            ("# cycles", self.cycles),
+            ("# threads", self.threads),
+            ("# entries", self.entries),
+            ("# critical arcs to t-1", self.arcs_prev),
+            ("Accum. arc lengths to t-1", self.arc_len_prev),
+            ("# critical arcs to <t-1", self.arcs_earlier),
+            ("Accum. arc lengths to <t-1", self.arc_len_earlier),
+            ("# overflow threads", self.overflow_threads),
+            ("Avg. thread size", round(self.avg_thread_size, 2)),
+            ("Avg. iterations per entry",
+             round(self.avg_iters_per_entry, 2)),
+            ("Critical arc freq to t-1", round(self.arc_freq_prev, 3)),
+            ("Avg. arc length to t-1", round(self.avg_arc_len_prev, 2)),
+            ("Critical arc freq to <t-1",
+             round(self.arc_freq_earlier, 3)),
+            ("Avg. arc length to <t-1",
+             round(self.avg_arc_len_earlier, 2)),
+            ("Overflow frequency", round(self.overflow_freq, 4)),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join("%-*s  %s" % (width, name, value)
+                         for name, value in rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("<STLStats L%d threads=%d size=%.1f arcs(t-1)=%d "
+                "ovf=%.2f>" % (self.loop_id, self.threads,
+                               self.avg_thread_size, self.arcs_prev,
+                               self.overflow_freq))

@@ -1,0 +1,28 @@
+"""The paper's 26 benchmarks (Table 6) as minijava workloads.
+
+Import :mod:`repro.workloads.registry` and use
+:func:`~repro.workloads.registry.all_workloads` /
+:func:`~repro.workloads.registry.get_workload`.
+"""
+
+from repro.workloads.registry import (
+    FLOATING,
+    INTEGER,
+    MULTIMEDIA,
+    Workload,
+    all_workloads,
+    by_category,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "FLOATING",
+    "INTEGER",
+    "MULTIMEDIA",
+    "Workload",
+    "all_workloads",
+    "by_category",
+    "get_workload",
+    "workload_names",
+]

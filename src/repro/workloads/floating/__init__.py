@@ -1,0 +1,11 @@
+"""Floating-point workloads (Table 6 rows 15-21)."""
+
+from repro.workloads.floating import (  # noqa: F401
+    euler,
+    fft,
+    fouriertest,
+    lufactor,
+    moldyn,
+    neuralnet,
+    shallow,
+)

@@ -1,0 +1,75 @@
+"""euler — 2-D fluid dynamics (Table 6 row 15).
+
+Java Grande's Euler solver sweeps a structured grid with several
+distinct loop nests per timestep.  The paper selects many (13) fine
+STLs (66 threads/entry at ~300 cycles) and flags the benchmark as
+data-set sensitive: bigger grids push selection down the nest.
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// Structured-grid Euler-style sweeps: flux, update, damping.
+func main() {
+  var nx = 30;
+  var ny = 9;
+  var u = array(nx * ny);
+  var flux_x = array(nx * ny);
+  var flux_y = array(nx * ny);
+  var seed = 11;
+  for (var i = 0; i < nx * ny; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    u[i] = 1.0 + float(seed % 1000) / 1000.0;
+  }
+
+  for (var step = 0; step < 8; step = step + 1) {
+    // x-direction fluxes (each row independent)
+    for (var j = 0; j < ny; j = j + 1) {
+      for (var i2 = 1; i2 < nx; i2 = i2 + 1) {
+        var left = u[j * nx + i2 - 1];
+        var right = u[j * nx + i2];
+        flux_x[j * nx + i2] = 0.5 * (left + right)
+            - 0.1 * (right - left);
+      }
+    }
+    // y-direction fluxes (each column independent)
+    for (var i3 = 0; i3 < nx; i3 = i3 + 1) {
+      for (var j2 = 1; j2 < ny; j2 = j2 + 1) {
+        var lo = u[(j2 - 1) * nx + i3];
+        var hi = u[j2 * nx + i3];
+        flux_y[j2 * nx + i3] = 0.5 * (lo + hi) - 0.1 * (hi - lo);
+      }
+    }
+    // conservative update (interior cells independent)
+    for (var j3 = 1; j3 < ny - 1; j3 = j3 + 1) {
+      for (var i4 = 1; i4 < nx - 1; i4 = i4 + 1) {
+        var idx = j3 * nx + i4;
+        u[idx] = u[idx]
+            - 0.05 * (flux_x[idx + 1] - flux_x[idx])
+            - 0.05 * (flux_y[idx + nx] - flux_y[idx]);
+      }
+    }
+    // boundary damping (1-D loops)
+    for (var b = 0; b < nx; b = b + 1) {
+      u[b] = u[b] * 0.99;
+      u[(ny - 1) * nx + b] = u[(ny - 1) * nx + b] * 0.99;
+    }
+  }
+
+  var total = 0.0;
+  for (var k = 0; k < nx * ny; k = k + 1) {
+    total = total + u[k];
+  }
+  return int(total * 1000.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="euler",
+    category=FLOATING,
+    description="Fluid dynamics",
+    source_text=SOURCE,
+    dataset="30x9",
+    analyzable=True,
+    data_sensitive=True,
+))

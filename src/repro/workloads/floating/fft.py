@@ -1,0 +1,74 @@
+"""fft — iterative radix-2 FFT (Table 6 row 16).
+
+The stage loop is serial (each stage consumes the previous one's
+output) but the butterfly loops inside a stage are independent; the
+paper selects 2 loops at height 2 and marks the benchmark data-set
+sensitive (selection depends on the transform length).
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// 256-point iterative FFT over synthetic data.
+func main() {
+  var n = 256;
+  var logn = 8;
+  var re = array(n);
+  var im = array(n);
+  for (var i = 0; i < n; i = i + 1) {
+    re[i] = sin(float(i) * 0.1) + 0.5 * sin(float(i) * 0.31);
+    im[i] = 0.0;
+  }
+
+  // bit-reversal permutation
+  for (var k = 0; k < n; k = k + 1) {
+    var rev = 0;
+    var x = k;
+    for (var b = 0; b < logn; b = b + 1) {
+      rev = rev * 2 + x % 2;
+      x = x / 2;
+    }
+    if (rev > k) {
+      var tr = re[k]; re[k] = re[rev]; re[rev] = tr;
+      var ti = im[k]; im[k] = im[rev]; im[rev] = ti;
+    }
+  }
+
+  // stages (serial) of independent butterflies (parallel)
+  var half = 1;
+  while (half < n) {
+    var step = half * 2;
+    for (var grp = 0; grp < half; grp = grp + 1) {
+      var angle = -3.14159265358979 * float(grp) / float(half);
+      var wr = cos(angle);
+      var wi = sin(angle);
+      for (var top = grp; top < n; top = top + step) {
+        var bot = top + half;
+        var xr = re[bot] * wr - im[bot] * wi;
+        var xi = re[bot] * wi + im[bot] * wr;
+        re[bot] = re[top] - xr;
+        im[bot] = im[top] - xi;
+        re[top] = re[top] + xr;
+        im[top] = im[top] + xi;
+      }
+    }
+    half = step;
+  }
+
+  var energy = 0.0;
+  for (var e = 0; e < n; e = e + 1) {
+    energy = energy + re[e] * re[e] + im[e] * im[e];
+  }
+  return int(energy * 100.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="fft",
+    category=FLOATING,
+    description="Fast fourier transform",
+    source_text=SOURCE,
+    dataset="256",
+    analyzable=True,
+    data_sensitive=True,
+))

@@ -1,0 +1,44 @@
+"""FourierTest — Fourier coefficient computation (Table 6 row 17).
+
+The paper's most extreme granularity: one loop, 100 threads/entry at
+~168k cycles each.  Every iteration numerically integrates one
+coefficient, so threads are huge and fully independent.
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// Trapezoid-rule Fourier coefficients of f(x) = (x+1)^x-ish shape.
+func main() {
+  var ncoeff = 14;
+  var npoints = 400;
+  var coeffs = array(ncoeff);
+  var two_pi = 6.28318530717959;
+
+  // one coefficient per iteration: a very coarse, independent thread
+  for (var k = 0; k < ncoeff; k = k + 1) {
+    var acc = 0.0;
+    var dx = two_pi / float(npoints);
+    for (var p = 0; p < npoints; p = p + 1) {
+      var x = float(p) * dx;
+      var fx = exp(x * 0.2) * sin(x * 1.5) + 1.0;
+      acc = acc + fx * cos(float(k) * x) * dx;
+    }
+    coeffs[k] = acc;
+  }
+
+  var checksum = 0.0;
+  for (var c = 0; c < ncoeff; c = c + 1) {
+    checksum = checksum + coeffs[c] * float(c + 1);
+  }
+  return int(checksum * 1000.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="FourierTest",
+    category=FLOATING,
+    description="Fourier coefficients",
+    source_text=SOURCE,
+    analyzable=True,
+))

@@ -1,0 +1,73 @@
+"""LuFactor — LU factorization with partial pivoting (Table 6 row 18).
+
+The pivot loop is serial; the pivot search, row swap, and elimination
+update loops inside it are parallel.  Data-set sensitive: with a larger
+matrix the elimination rows overflow the store buffer and selection
+moves to the inner update loop.
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// Dense LU with partial pivoting on a 26x26 matrix.
+func main() {
+  var n = 26;
+  var a = array(n * n);
+  var piv = array(n);
+  var seed = 19;
+  for (var i = 0; i < n * n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    a[i] = float(seed % 2000) / 1000.0 - 1.0;
+  }
+  // diagonal dominance so pivoting stays tame
+  for (var d = 0; d < n; d = d + 1) {
+    a[d * n + d] = a[d * n + d] + 4.0;
+  }
+
+  for (var k = 0; k < n - 1; k = k + 1) {
+    // pivot search (reduction over rows)
+    var best = k;
+    var best_mag = abs(a[k * n + k]);
+    for (var r = k + 1; r < n; r = r + 1) {
+      var mag = abs(a[r * n + k]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    piv[k] = best;
+    if (best != k) {
+      for (var c = 0; c < n; c = c + 1) {
+        var t = a[k * n + c];
+        a[k * n + c] = a[best * n + c];
+        a[best * n + c] = t;
+      }
+    }
+    // elimination: each row below the pivot is independent
+    var pivot = a[k * n + k];
+    for (var r2 = k + 1; r2 < n; r2 = r2 + 1) {
+      var mult = a[r2 * n + k] / pivot;
+      a[r2 * n + k] = mult;
+      for (var c2 = k + 1; c2 < n; c2 = c2 + 1) {
+        a[r2 * n + c2] = a[r2 * n + c2] - mult * a[k * n + c2];
+      }
+    }
+  }
+
+  var checksum = 0.0;
+  for (var d2 = 0; d2 < n; d2 = d2 + 1) {
+    checksum = checksum + abs(a[d2 * n + d2]);
+  }
+  return int(checksum * 1000.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="LuFactor",
+    category=FLOATING,
+    description="LU factorization",
+    source_text=SOURCE,
+    dataset="26x26",
+    analyzable=True,
+    data_sensitive=True,
+))

@@ -1,0 +1,82 @@
+"""moldyn — molecular dynamics (Table 6 row 19).
+
+Java Grande's moldyn: an N-body force loop.  The paper's selected loop
+is the finest-grained of all (1026 threads/entry at only 96 cycles):
+the inner pair loop, whose force accumulations into the shared arrays
+occasionally collide.
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// Lennard-Jones pair forces over an interleaved neighbor list.
+func main() {
+  var n = 40;
+  var px = array(n);
+  var py = array(n);
+  var fx = array(n);
+  var fy = array(n);
+  var npairs = n * (n - 1) / 2;
+  var pair_a = array(npairs);
+  var pair_b = array(npairs);
+
+  var seed = 23;
+  for (var i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    px[i] = float(seed % 1000) / 100.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    py[i] = float(seed % 1000) / 100.0;
+  }
+
+  // neighbor-list construction: enumerate pairs, then interleave with
+  // a large stride so consecutive list entries touch distinct
+  // particles (standard conflict-reducing ordering)
+  var k = 0;
+  for (var a = 0; a < n - 1; a = a + 1) {
+    for (var b = a + 1; b < n; b = b + 1) {
+      var slot = (k * 97) % npairs;
+      while (pair_b[slot] != 0) { slot = (slot + 1) % npairs; }
+      pair_a[slot] = a;
+      pair_b[slot] = b + 1;       // +1 so 0 means empty
+      k = k + 1;
+    }
+  }
+
+  var energy = 0.0;
+  for (var step = 0; step < 2; step = step + 1) {
+    for (var z = 0; z < n; z = z + 1) {
+      fx[z] = 0.0;
+      fy[z] = 0.0;
+    }
+    // the fine-grained selected STL: one pair interaction per thread
+    for (var p = 0; p < npairs; p = p + 1) {
+      var a2 = pair_a[p];
+      var b2 = pair_b[p] - 1;
+      var dx = px[a2] - px[b2];
+      var dy = py[a2] - py[b2];
+      var r2 = dx * dx + dy * dy + 0.01;
+      var inv = 1.0 / r2;
+      var f = (inv * inv - 0.5 * inv) * 0.001;
+      fx[a2] = fx[a2] + f * dx;
+      fy[a2] = fy[a2] + f * dy;
+      fx[b2] = fx[b2] - f * dx;
+      fy[b2] = fy[b2] - f * dy;
+    }
+    // position update (independent per particle)
+    for (var m = 0; m < n; m = m + 1) {
+      px[m] = px[m] + fx[m] * 0.1;
+      py[m] = py[m] + fy[m] * 0.1;
+      energy = energy + fx[m] * fx[m] + fy[m] * fy[m];
+    }
+  }
+  return int(energy * 1000000.0) % 1000003;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="moldyn",
+    category=FLOATING,
+    description="Molecular dynamics",
+    source_text=SOURCE,
+    analyzable=True,
+))

@@ -1,0 +1,103 @@
+"""NeuralNet — backprop network training (Table 6 row 20).
+
+A 35-8-8 multilayer perceptron like jBYTEmark's: layer widths of 8 give
+the paper's smallest iteration counts (9 threads/entry) with fine
+~600-cycle threads, and selection shifts with layer sizes (data-set
+sensitive).
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// 35-8-8 MLP: forward + backward passes over a small sample set.
+func main() {
+  var n_in = 35;
+  var n_hid = 8;
+  var n_out = 8;
+  var w1 = array(n_in * n_hid);
+  var w2 = array(n_hid * n_out);
+  var hidden = array(n_hid);
+  var output = array(n_out);
+  var delta_o = array(n_out);
+  var delta_h = array(n_hid);
+  var sample = array(n_in);
+  var target = array(n_out);
+
+  var seed = 29;
+  for (var i = 0; i < n_in * n_hid; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    w1[i] = float(seed % 200) / 1000.0 - 0.1;
+  }
+  for (var j = 0; j < n_hid * n_out; j = j + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    w2[j] = float(seed % 200) / 1000.0 - 0.1;
+  }
+
+  var err_acc = 0.0;
+  for (var epoch = 0; epoch < 3; epoch = epoch + 1) {
+    for (var s = 0; s < 8; s = s + 1) {
+      // build sample s and its one-hot target
+      for (var k = 0; k < n_in; k = k + 1) {
+        sample[k] = float((s * 7 + k * 3) % 10) / 10.0;
+      }
+      for (var t = 0; t < n_out; t = t + 1) {
+        if (t == s % n_out) { target[t] = 1.0; } else { target[t] = 0.0; }
+      }
+      // forward: hidden layer (each neuron independent)
+      for (var h = 0; h < n_hid; h = h + 1) {
+        var acc = 0.0;
+        for (var k2 = 0; k2 < n_in; k2 = k2 + 1) {
+          acc = acc + sample[k2] * w1[k2 * n_hid + h];
+        }
+        hidden[h] = 1.0 / (1.0 + exp(0.0 - acc));
+      }
+      // forward: output layer
+      for (var o = 0; o < n_out; o = o + 1) {
+        var acc2 = 0.0;
+        for (var h2 = 0; h2 < n_hid; h2 = h2 + 1) {
+          acc2 = acc2 + hidden[h2] * w2[h2 * n_out + o];
+        }
+        output[o] = 1.0 / (1.0 + exp(0.0 - acc2));
+      }
+      // backward: output deltas
+      for (var o2 = 0; o2 < n_out; o2 = o2 + 1) {
+        var e = target[o2] - output[o2];
+        delta_o[o2] = e * output[o2] * (1.0 - output[o2]);
+        err_acc = err_acc + e * e;
+      }
+      // backward: hidden deltas
+      for (var h3 = 0; h3 < n_hid; h3 = h3 + 1) {
+        var back = 0.0;
+        for (var o3 = 0; o3 < n_out; o3 = o3 + 1) {
+          back = back + delta_o[o3] * w2[h3 * n_out + o3];
+        }
+        delta_h[h3] = back * hidden[h3] * (1.0 - hidden[h3]);
+      }
+      // weight updates (independent per weight)
+      for (var h4 = 0; h4 < n_hid; h4 = h4 + 1) {
+        for (var o4 = 0; o4 < n_out; o4 = o4 + 1) {
+          w2[h4 * n_out + o4] = w2[h4 * n_out + o4]
+              + 0.3 * delta_o[o4] * hidden[h4];
+        }
+      }
+      for (var k3 = 0; k3 < n_in; k3 = k3 + 1) {
+        for (var h5 = 0; h5 < n_hid; h5 = h5 + 1) {
+          w1[k3 * n_hid + h5] = w1[k3 * n_hid + h5]
+              + 0.3 * delta_h[h5] * sample[k3];
+        }
+      }
+    }
+  }
+  return int(err_acc * 10000.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="NeuralNet",
+    category=FLOATING,
+    description="Neural net",
+    source_text=SOURCE,
+    dataset="35x8x8",
+    analyzable=True,
+    data_sensitive=True,
+))

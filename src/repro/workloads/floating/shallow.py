@@ -1,0 +1,71 @@
+"""shallow — shallow-water simulation (Table 6 row 21).
+
+Stencil sweeps over a 2-D grid; the paper selects 3 row-level loops
+(height 1) with ~1400-cycle threads, and flags data-set sensitivity
+(grid size determines which nest level fits the buffers).
+"""
+
+from repro.workloads.registry import FLOATING, Workload, register
+
+SOURCE = """
+// Shallow-water-style stencils: height and velocity updates.
+func main() {
+  var nx = 26;
+  var ny = 26;
+  var h = array(nx * ny);
+  var u = array(nx * ny);
+  var v = array(nx * ny);
+  for (var i = 0; i < nx * ny; i = i + 1) {
+    var x = i % nx;
+    var y = i / nx;
+    h[i] = 10.0 + sin(float(x) * 0.4) * cos(float(y) * 0.4);
+    u[i] = 0.0;
+    v[i] = 0.0;
+  }
+
+  for (var step = 0; step < 5; step = step + 1) {
+    // velocity update (row loops: the paper's selected granularity)
+    for (var y2 = 1; y2 < ny - 1; y2 = y2 + 1) {
+      for (var x2 = 1; x2 < nx - 1; x2 = x2 + 1) {
+        var idx = y2 * nx + x2;
+        u[idx] = u[idx] - 0.1 * (h[idx + 1] - h[idx - 1]);
+        v[idx] = v[idx] - 0.1 * (h[idx + nx] - h[idx - nx]);
+      }
+    }
+    // height update from divergence
+    for (var y3 = 1; y3 < ny - 1; y3 = y3 + 1) {
+      for (var x3 = 1; x3 < nx - 1; x3 = x3 + 1) {
+        var idx2 = y3 * nx + x3;
+        h[idx2] = h[idx2]
+            - 0.1 * (u[idx2 + 1] - u[idx2 - 1])
+            - 0.1 * (v[idx2 + nx] - v[idx2 - nx]);
+      }
+    }
+    // light smoothing pass
+    for (var y4 = 1; y4 < ny - 1; y4 = y4 + 1) {
+      for (var x4 = 1; x4 < nx - 1; x4 = x4 + 1) {
+        var idx3 = y4 * nx + x4;
+        h[idx3] = 0.96 * h[idx3]
+            + 0.01 * (h[idx3 - 1] + h[idx3 + 1]
+                      + h[idx3 - nx] + h[idx3 + nx]);
+      }
+    }
+  }
+
+  var total = 0.0;
+  for (var k = 0; k < nx * ny; k = k + 1) {
+    total = total + h[k];
+  }
+  return int(total * 100.0);
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="shallow",
+    category=FLOATING,
+    description="Shallow water sim",
+    source_text=SOURCE,
+    dataset="26x26",
+    analyzable=True,
+    data_sensitive=True,
+))

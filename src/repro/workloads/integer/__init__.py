@@ -1,0 +1,18 @@
+"""Integer workloads (Table 6 rows 1-14)."""
+
+from repro.workloads.integer import (  # noqa: F401
+    assignment,
+    bitops,
+    compress,
+    db,
+    deltablue,
+    emfloatpnt,
+    huffman,
+    idea,
+    jess,
+    jlex,
+    mipssimulator,
+    montecarlo,
+    numheapsort,
+    raytrace,
+)

@@ -1,0 +1,77 @@
+"""Assignment — jBYTEmark resource allocation (Table 6 row 1).
+
+Row/column reduction sweeps over a cost matrix plus zero-cover scans:
+many modest loops at several nest levels, with min-search inner loops
+that carry a scalar recurrence.  Data-set sensitive: with bigger
+matrices the row loops outgrow the speculative buffers and selection
+moves inward (the paper's column b).
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Cost-matrix reduction kernel in the style of jBYTEmark Assignment.
+func lcg(seed) {
+  return (seed * 1103515245 + 12345) % 2147483648;
+}
+
+func main() {
+  var n = 20;
+  var cost = array(n * n);
+  var seed = 7;
+  for (var i = 0; i < n * n; i = i + 1) {
+    seed = lcg(seed);
+    cost[i] = (seed >> 8) % 1000;
+  }
+  var total = 0;
+  for (var rep = 0; rep < 6; rep = rep + 1) {
+    // row reduction: subtract each row's minimum
+    for (var r = 0; r < n; r = r + 1) {
+      var m = 1000000;
+      for (var c = 0; c < n; c = c + 1) {
+        if (cost[r * n + c] < m) { m = cost[r * n + c]; }
+      }
+      for (var c2 = 0; c2 < n; c2 = c2 + 1) {
+        cost[r * n + c2] = cost[r * n + c2] - m;
+      }
+      total = total + m;
+    }
+    // column reduction: subtract each column's minimum
+    for (var c3 = 0; c3 < n; c3 = c3 + 1) {
+      var m2 = 1000000;
+      for (var r2 = 0; r2 < n; r2 = r2 + 1) {
+        if (cost[r2 * n + c3] < m2) { m2 = cost[r2 * n + c3]; }
+      }
+      for (var r3 = 0; r3 < n; r3 = r3 + 1) {
+        cost[r3 * n + c3] = cost[r3 * n + c3] - m2;
+      }
+      total = total + m2;
+    }
+    // cover scan: count assignable zeros
+    var zeros = 0;
+    for (var r4 = 0; r4 < n; r4 = r4 + 1) {
+      for (var c4 = 0; c4 < n; c4 = c4 + 1) {
+        if (cost[r4 * n + c4] == 0) { zeros = zeros + 1; }
+      }
+    }
+    total = total + zeros;
+    // perturb so later repetitions keep reducing
+    for (var k = 0; k < n; k = k + 1) {
+      seed = lcg(seed);
+      var idx = k * n + seed % n;
+      cost[idx] = cost[idx] + (seed >> 4) % 17;
+    }
+  }
+  return total;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="Assignment",
+    category=INTEGER,
+    description="Resource allocation",
+    source_text=SOURCE,
+    dataset="20x20",
+    analyzable=False,
+    data_sensitive=True,
+))

@@ -1,0 +1,51 @@
+"""BitOps — jBYTEmark bit-array operations (Table 6 row 2).
+
+Flat, shallow loop structure (the paper counts just 4 loops at depth 2)
+with very high trip counts and tiny iterations (paper: 7646
+threads/entry at 29 cycles).
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Bit-array set / clear / population-count sweeps.
+func main() {
+  var nwords = 192;
+  var bits = array(nwords);
+  var seed = 99;
+  var checksum = 0;
+  for (var op = 0; op < 140; op = op + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    var start = seed % (nwords * 32 - 64);
+    var span = 1 + (seed >> 8) % 48;
+    if (op % 6 == 5) {
+      // population count over the whole array
+      var cnt = 0;
+      for (var w = 0; w < nwords; w = w + 1) {
+        var v = bits[w];
+        while (v != 0) {
+          v = v & (v - 1);
+          cnt = cnt + 1;
+        }
+      }
+      checksum = checksum + cnt;
+    } else if (op % 2 == 0) {
+      for (var b = start; b < start + span; b = b + 1) {
+        bits[b / 32] = bits[b / 32] | (1 << (b % 32));
+      }
+    } else {
+      for (var b2 = start; b2 < start + span; b2 = b2 + 1) {
+        bits[b2 / 32] = bits[b2 / 32] & ~(1 << (b2 % 32));
+      }
+    }
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="BitOps",
+    category=INTEGER,
+    description="Bit array operations",
+    source_text=SOURCE,
+))

@@ -1,0 +1,79 @@
+"""compress — SPECjvm98-style LZW compression (Table 6 row 3).
+
+A single dominant loop over the input bytes with hash-probe inner loops
+and a carried ``prefix`` code; the paper's selected decomposition is
+coarse (546-cycle threads) and covers nearly the whole run.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// LZW-style compressor: hash-table dictionary, linear probing.
+func main() {
+  var input_len = 420;
+  var input = array(input_len);
+  var seed = 31;
+  for (var i = 0; i < input_len; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    // skewed byte distribution so the dictionary gets hits
+    input[i] = (seed >> 9) % 23;
+  }
+
+  var hsize = 512;
+  var hkey = array(hsize);
+  var hcode = array(hsize);
+  var out_codes = 0;
+  var checksum = 0;
+
+  for (var pass = 0; pass < 2; pass = pass + 1) {
+    // reset dictionary
+    for (var h = 0; h < hsize; h = h + 1) {
+      hkey[h] = -1;
+      hcode[h] = 0;
+    }
+    var next_code = 256;
+    var prefix = input[0];
+    for (var p = 1; p < input_len; p = p + 1) {
+      var byte = input[p];
+      var key = prefix * 256 + byte;
+      var slot = (key * 31) % hsize;
+      var found = -1;
+      // linear probe
+      var probes = 0;
+      while (probes < hsize) {
+        if (hkey[slot] == key) {
+          found = hcode[slot];
+          probes = hsize;          // hit: stop probing
+        } else if (hkey[slot] == -1) {
+          probes = hsize + 1;      // empty: stop, not found
+        } else {
+          slot = (slot + 1) % hsize;
+          probes = probes + 1;
+        }
+      }
+      if (found >= 0) {
+        prefix = found;
+      } else {
+        // emit prefix, insert new entry
+        out_codes = out_codes + 1;
+        checksum = (checksum + prefix * 7 + 13) % 1000003;
+        if (next_code < 4096) {
+          hkey[slot] = key;
+          hcode[slot] = next_code;
+          next_code = next_code + 1;
+        }
+        prefix = byte;
+      }
+    }
+    checksum = (checksum + prefix) % 1000003;
+  }
+  return checksum * 10000 + out_codes;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="compress",
+    category=INTEGER,
+    description="Compression",
+    source_text=SOURCE,
+))

@@ -1,0 +1,84 @@
+"""db — SPECjvm98-style in-memory database (Table 6 row 4).
+
+Linear-scan lookups and additions over a record table, punctuated by
+shell-sort passes.  The paper notes db has significant serial sections
+(the sorts) limiting total speedup, and is data-set sensitive.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Record table: parallel scans + serial shell sorts.
+func lcg(seed) {
+  return (seed * 1103515245 + 12345) % 2147483648;
+}
+
+func shell_sort(keys, vals, n) {
+  var gap = n / 2;
+  while (gap > 0) {
+    for (var i = gap; i < n; i = i + 1) {
+      var k = keys[i];
+      var v = vals[i];
+      var j = i;
+      while (j >= gap && keys[j - gap] > k) {
+        keys[j] = keys[j - gap];
+        vals[j] = vals[j - gap];
+        j = j - gap;
+      }
+      keys[j] = k;
+      vals[j] = v;
+    }
+    gap = gap / 2;
+  }
+}
+
+func main() {
+  var cap = 260;
+  var keys = array(cap);
+  var vals = array(cap);
+  var count = 180;
+  var seed = 5;
+  for (var i = 0; i < count; i = i + 1) {
+    seed = lcg(seed);
+    keys[i] = (seed >> 7) % 5000;
+    vals[i] = i;
+  }
+  var hits = 0;
+  var checksum = 0;
+  for (var op = 0; op < 110; op = op + 1) {
+    seed = lcg(seed);
+    var probe = (seed >> 7) % 5000;
+    if (op % 11 == 10) {
+      // add a record (serial table mutation)
+      if (count < cap) {
+        keys[count] = probe;
+        vals[count] = op;
+        count = count + 1;
+      }
+    } else if (op % 17 == 16) {
+      shell_sort(keys, vals, count);
+      checksum = checksum + keys[0] + keys[count - 1];
+    } else {
+      // linear scan lookup (the parallel part)
+      var found = -1;
+      for (var r = 0; r < count; r = r + 1) {
+        if (keys[r] == probe) { found = r; }
+      }
+      if (found >= 0) {
+        hits = hits + 1;
+        checksum = checksum + vals[found];
+      }
+    }
+  }
+  return checksum * 1000 + hits;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="db",
+    category=INTEGER,
+    description="Database",
+    source_text=SOURCE,
+    dataset="180 recs",
+    data_sensitive=True,
+))

@@ -1,0 +1,96 @@
+"""EmFloatPnt — jBYTEmark software floating-point emulation (Table 6
+row 6).
+
+One selected loop with very coarse threads (the paper reports ~20k
+cycles each): every iteration performs emulated FP multiply and add on
+sign/exponent/mantissa triples, with data-dependent normalization and
+long-division inner loops.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Emulated floating point on (sign, exponent, 24-bit mantissa) triples.
+func emul_mul(am, ae, bm, be, out_m_e) {
+  // 24x24 -> 48-bit multiply via 16-bit halves, then normalize
+  var alo = am % 4096;
+  var ahi = am / 4096;
+  var blo = bm % 4096;
+  var bhi = bm / 4096;
+  var hi = ahi * bhi;
+  var mid = ahi * blo + alo * bhi;
+  var lo = alo * blo;
+  var prod_hi = hi + mid / 4096;
+  var prod_lo = (mid % 4096) * 4096 + lo;
+  var e = ae + be;
+  // normalize: shift until the top bit of the 24-bit window is set
+  var m = prod_hi;
+  var guard = prod_lo;
+  var shifts = 0;
+  while (m < 8388608 && shifts < 24) {
+    m = m * 2;
+    if (guard >= 8388608 * 2) { m = m + 1; }
+    guard = (guard * 2) % 16777216;
+    shifts = shifts + 1;
+    e = e - 1;
+  }
+  while (m >= 16777216) {
+    m = m / 2;
+    e = e + 1;
+  }
+  out_m_e[0] = m;
+  out_m_e[1] = e;
+}
+
+func emul_add(am, ae, bm, be, out_m_e) {
+  // align exponents with a shift loop, add, renormalize
+  var m1 = am; var e1 = ae; var m2 = bm; var e2 = be;
+  while (e1 > e2) { m2 = m2 / 2; e2 = e2 + 1; }
+  while (e2 > e1) { m1 = m1 / 2; e1 = e1 + 1; }
+  var m = m1 + m2;
+  var e = e1;
+  while (m >= 16777216) { m = m / 2; e = e + 1; }
+  while (m < 8388608 && m > 0 && e > -64) { m = m * 2; e = e - 1; }
+  out_m_e[0] = m;
+  out_m_e[1] = e;
+}
+
+func main() {
+  var n = 60;
+  var mant = array(n);
+  var expo = array(n);
+  var seed = 3;
+  for (var i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    mant[i] = 8388608 + (seed >> 5) % 8388608;
+    expo[i] = (seed >> 3) % 32 - 16;
+  }
+  var tmp = array(2);
+  var checksum = 0;
+  // the coarse STL: each iteration is a long chain of emulated-FP
+  // operations (one jBYTEmark-style computation per thread)
+  for (var k = 0; k < n; k = k + 1) {
+    var pm = mant[k];
+    var pe = expo[k];
+    for (var op = 0; op < 6; op = op + 1) {
+      var idx = (k * 7 + op * 13 + 3) % n;
+      emul_mul(pm, pe, mant[idx], expo[idx], tmp);
+      pm = tmp[0]; pe = tmp[1];
+      emul_add(pm, pe, mant[(idx * 5 + 1) % n],
+               expo[(idx * 5 + 1) % n], tmp);
+      pm = tmp[0]; pe = tmp[1];
+      emul_mul(pm, pe, 12582912, -1, tmp);
+      pm = tmp[0]; pe = tmp[1];
+    }
+    checksum = (checksum + pm + pe * 31) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="EmFloatPnt",
+    category=INTEGER,
+    description="FP emulation",
+    source_text=SOURCE,
+))

@@ -1,0 +1,71 @@
+"""Huffman — compression via tree coding (Table 6 row 7; also the
+paper's worked example in Figure 3 and Table 3).
+
+The decode phase is the paper's running example: an outer per-symbol
+loop (the good STL) around an inner bit-chasing tree walk whose
+``in_p`` dependence makes it a poor one.  Table 3's comparison — outer
+loop beats inner loop beats serial — is regenerated from this workload
+by ``benchmarks/bench_table3_nest_selection.py``.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Huffman decode over a fixed tree (paper Figure 3's loop nest).
+func main() {
+  var nnodes = 32;
+  var tree_left = array(nnodes);
+  var tree_right = array(nnodes);
+  var tree_char = array(nnodes);
+  var nbits = 6000;
+  var bits = array(nbits);
+  var out = array(4096);
+
+  // complete tree with 15 internal nodes and 16 leaves (depth ~4)
+  for (var n = 0; n < nnodes; n = n + 1) {
+    if (n < 15) {
+      tree_left[n] = 2 * n + 1;
+      tree_right[n] = 2 * n + 2;
+    } else {
+      tree_left[n] = -1;
+      tree_right[n] = -1;
+    }
+    tree_char[n] = (n * 37) % 61;
+  }
+  var seed = 12345;
+  for (var b = 0; b < nbits; b = b + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    bits[b] = (seed >> 16) & 1;
+  }
+
+  // the decode nest: outer loop = one decoded symbol per iteration
+  var in_p = 0;
+  var out_p = 0;
+  while (in_p < nbits - 8) {
+    var node = 0;
+    while (tree_left[node] != -1) {
+      if (bits[in_p] == 0) {
+        node = tree_left[node];
+      } else {
+        node = tree_right[node];
+      }
+      in_p = in_p + 1;
+    }
+    out[out_p] = tree_char[node];
+    out_p = out_p + 1;
+  }
+
+  var checksum = 0;
+  for (var k = 0; k < out_p; k = k + 1) {
+    checksum = (checksum + out[k] * 31 + k) % 1000003;
+  }
+  return checksum * 10 + out_p % 10;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="Huffman",
+    category=INTEGER,
+    description="Compression",
+    source_text=SOURCE,
+))

@@ -1,0 +1,80 @@
+"""IDEA — block-cipher encryption (Table 6 row 8).
+
+The paper's cleanest case: 2 loops total, one selected, coarse
+independent threads (each iteration encrypts one block through 8
+rounds of multiply-mod-65537 arithmetic).
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// IDEA-style cipher: mul mod 65537 rounds over independent blocks.
+func mulmod(a, b) {
+  // IDEA's multiplication modulo 2^16+1 with 0 meaning 2^16
+  if (a == 0) { a = 65536; }
+  if (b == 0) { b = 65536; }
+  var p = (a * b) % 65537;
+  return p % 65536;
+}
+
+func main() {
+  var nblocks = 56;
+  var data = array(nblocks * 4);
+  var keys = array(52);
+  var seed = 21;
+  for (var i = 0; i < nblocks * 4; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    data[i] = (seed >> 9) % 65536;
+  }
+  for (var k = 0; k < 52; k = k + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    keys[k] = (seed >> 9) % 65536;
+  }
+
+  // the selected STL: one block per thread, fully independent
+  for (var blk = 0; blk < nblocks; blk = blk + 1) {
+    var x0 = data[blk * 4];
+    var x1 = data[blk * 4 + 1];
+    var x2 = data[blk * 4 + 2];
+    var x3 = data[blk * 4 + 3];
+    for (var round = 0; round < 8; round = round + 1) {
+      var kb = round * 6;
+      x0 = mulmod(x0, keys[kb]);
+      x1 = (x1 + keys[kb + 1]) % 65536;
+      x2 = (x2 + keys[kb + 2]) % 65536;
+      x3 = mulmod(x3, keys[kb + 3]);
+      var t0 = x0 ^ x2;
+      var t1 = x1 ^ x3;
+      t0 = mulmod(t0, keys[kb + 4]);
+      t1 = (t1 + t0) % 65536;
+      t1 = mulmod(t1, keys[kb + 5]);
+      t0 = (t0 + t1) % 65536;
+      x0 = x0 ^ t1;
+      x2 = x2 ^ t1;
+      x1 = x1 ^ t0;
+      x3 = x3 ^ t0;
+      var swap = x1;
+      x1 = x2;
+      x2 = swap;
+    }
+    data[blk * 4] = mulmod(x0, keys[48]);
+    data[blk * 4 + 1] = (x2 + keys[49]) % 65536;
+    data[blk * 4 + 2] = (x1 + keys[50]) % 65536;
+    data[blk * 4 + 3] = mulmod(x3, keys[51]);
+  }
+
+  var checksum = 0;
+  for (var j = 0; j < nblocks * 4; j = j + 1) {
+    checksum = (checksum + data[j] * (j + 1)) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="IDEA",
+    category=INTEGER,
+    description="Encryption",
+    source_text=SOURCE,
+    analyzable=True,
+))

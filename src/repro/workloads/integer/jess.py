@@ -1,0 +1,80 @@
+"""jess — expert-system shell (Table 6 row 9).
+
+Deep nesting (the paper counts 134 loops, depth 11, average selected
+height 5.3) and a large serial remainder: rule matching scans are
+parallel-ish, but agenda maintenance and fact insertion serialize.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Forward-chaining rule engine: match, resolve, fire.
+func main() {
+  var max_facts = 400;
+  var fact_a = array(max_facts);
+  var fact_b = array(max_facts);
+  var nrules = 16;
+  var rule_pat_a = array(nrules);
+  var rule_pat_b = array(nrules);
+  var rule_out = array(nrules);
+  var agenda = array(64);
+
+  var seed = 41;
+  var nfacts = 90;
+  for (var f = 0; f < nfacts; f = f + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    fact_a[f] = (seed >> 6) % 12;
+    fact_b[f] = (seed >> 11) % 12;
+  }
+  for (var r = 0; r < nrules; r = r + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    rule_pat_a[r] = (seed >> 6) % 12;
+    rule_pat_b[r] = (seed >> 11) % 12;
+    rule_out[r] = (seed >> 4) % 12;
+  }
+
+  var fired = 0;
+  var cycle = 0;
+  while (cycle < 6 && nfacts < max_facts - 2) {
+    // match phase: each rule scans the fact base (nested loops)
+    var agenda_len = 0;
+    for (var r2 = 0; r2 < nrules; r2 = r2 + 1) {
+      var matches = 0;
+      for (var f2 = 0; f2 < nfacts; f2 = f2 + 1) {
+        if (fact_a[f2] == rule_pat_a[r2]) {
+          // join: find a second fact sharing the b-attribute
+          for (var f3 = 0; f3 < nfacts; f3 = f3 + 1) {
+            if (fact_b[f3] == rule_pat_b[r2] && f3 != f2) {
+              matches = matches + 1;
+              f3 = nfacts;   // first join wins
+            }
+          }
+        }
+      }
+      if (matches > 0 && agenda_len < 64) {
+        agenda[agenda_len] = r2;
+        agenda_len = agenda_len + 1;
+      }
+    }
+    // conflict resolution + firing (serial agenda walk)
+    for (var a = 0; a < agenda_len; a = a + 1) {
+      var rule = agenda[a];
+      if (nfacts < max_facts) {
+        fact_a[nfacts] = rule_out[rule];
+        fact_b[nfacts] = (rule_out[rule] + a) % 12;
+        nfacts = nfacts + 1;
+        fired = fired + 1;
+      }
+    }
+    cycle = cycle + 1;
+  }
+  return fired * 1000 + nfacts;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="jess",
+    category=INTEGER,
+    description="Expert system",
+    source_text=SOURCE,
+))

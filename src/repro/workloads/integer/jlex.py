@@ -1,0 +1,95 @@
+"""jLex — lexical-analyzer generator (Table 6 row 10).
+
+NFA-to-DFA subset construction: a serial worklist over DFA states with
+parallel per-symbol transition computation inside, plus a table
+compaction sweep.  Like the paper's jLex, a good chunk of execution
+stays serial.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Subset construction: NFA states are bits of an int (24-state NFA).
+func main() {
+  var nnfa = 20;
+  var nsym = 6;
+  // NFA transition: trans[state*nsym+sym] = bitset of successors
+  var trans = array(nnfa * nsym);
+  var eps = array(nnfa);
+  var seed = 77;
+  for (var t = 0; t < nnfa * nsym; t = t + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    // sparse transitions: ~2 successors per (state, symbol)
+    trans[t] = (1 << ((seed >> 5) % nnfa)) | (1 << ((seed >> 13) % nnfa));
+    if ((seed >> 20) % 4 != 0) { trans[t] = 0; }
+  }
+  for (var s = 0; s < nnfa; s = s + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if ((seed >> 9) % 3 == 0) {
+      eps[s] = 1 << ((seed >> 4) % nnfa);
+    } else {
+      eps[s] = 0;
+    }
+  }
+
+  var max_dfa = 64;
+  var dfa_set = array(max_dfa);          // bitset of NFA states
+  var dfa_trans = array(max_dfa * nsym);
+  dfa_set[0] = 1;                         // start state closure seed
+  var ndfa = 1;
+  var work = 0;
+
+  while (work < ndfa && ndfa < max_dfa - nsym) {
+    var current = dfa_set[work];
+    // per-symbol successor computation (the parallel inner loops)
+    for (var sym = 0; sym < nsym; sym = sym + 1) {
+      var next = 0;
+      for (var st = 0; st < nnfa; st = st + 1) {
+        if (((current >> st) & 1) == 1) {
+          next = next | trans[st * nsym + sym];
+        }
+      }
+      // epsilon closure (fixed small number of passes)
+      for (var pass = 0; pass < 2; pass = pass + 1) {
+        var closed = next;
+        for (var st2 = 0; st2 < nnfa; st2 = st2 + 1) {
+          if (((next >> st2) & 1) == 1) {
+            closed = closed | eps[st2];
+          }
+        }
+        next = closed;
+      }
+      // find-or-add the successor DFA state (serial)
+      var found = -1;
+      for (var d = 0; d < ndfa; d = d + 1) {
+        if (dfa_set[d] == next) { found = d; }
+      }
+      if (found < 0) {
+        dfa_set[ndfa] = next;
+        found = ndfa;
+        ndfa = ndfa + 1;
+      }
+      dfa_trans[work * nsym + sym] = found;
+    }
+    work = work + 1;
+  }
+
+  // table compaction sweep (parallel row scan)
+  var checksum = 0;
+  for (var row = 0; row < work; row = row + 1) {
+    var sig = 0;
+    for (var sym2 = 0; sym2 < nsym; sym2 = sym2 + 1) {
+      sig = (sig * 31 + dfa_trans[row * nsym + sym2]) % 1000003;
+    }
+    checksum = (checksum + sig) % 1000003;
+  }
+  return checksum * 100 + ndfa % 100;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="jLex",
+    category=INTEGER,
+    description="Lexical analyzer gen",
+    source_text=SOURCE,
+))

@@ -1,0 +1,86 @@
+"""MipsSimulator — a CPU interpreter interpreting a small program
+(Table 6 row 11).
+
+The paper's coarsest integer STL: one giant fetch-decode-execute loop
+(51931 threads/entry at 1313 cycles).  The ``pc`` update happens at the
+*top* of each iteration, so the critical arc is long relative to the
+thread and speculation wins despite the carried program counter;
+register-file accesses create genuine, occasional RAW violations.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Interpreter for a toy RISC: op, rd, ra, rb / imm encoded per word.
+func main() {
+  var mem_size = 128;
+  var code_size = 64;
+  var code = array(code_size);
+  var regs = array(16);
+  var mem = array(mem_size);
+
+  // guest program: a loop hashing memory into registers.
+  // encoding: op*1000000 + rd*10000 + ra*100 + rb   (rb doubles as imm)
+  // ops: 0=addi 1=add 2=mul 3=load 4=store 5=xor 6=bne(back -7) 7=halt
+  code[0] = 0 * 1000000 + 1 * 10000 + 0 * 100 + 0;    // r1 = r0 + 0
+  code[1] = 0 * 1000000 + 2 * 10000 + 0 * 100 + 40;   // r2 = 40 (limit)
+  code[2] = 0 * 1000000 + 3 * 10000 + 0 * 100 + 1;    // r3 = 1
+  // loop body (pc 3..9)
+  code[3] = 3 * 1000000 + 4 * 10000 + 1 * 100 + 0;    // r4 = mem[r1]
+  code[4] = 2 * 1000000 + 4 * 10000 + 4 * 100 + 3;    // r4 = r4 * r3
+  code[5] = 0 * 1000000 + 4 * 10000 + 4 * 100 + 7;    // r4 = r4 + 7
+  code[6] = 5 * 1000000 + 5 * 10000 + 5 * 100 + 4;    // r5 = r5 ^ r4
+  code[7] = 4 * 1000000 + 4 * 10000 + 1 * 100 + 0;    // mem[r1] = r4
+  code[8] = 0 * 1000000 + 1 * 10000 + 1 * 100 + 1;    // r1 = r1 + 1
+  code[9] = 6 * 1000000 + 0 * 10000 + 1 * 100 + 2;    // bne r1,r2 -> pc 3
+  code[10] = 7 * 1000000;                              // halt
+
+  for (var m = 0; m < mem_size; m = m + 1) {
+    mem[m] = (m * 2654435761) % 65536;
+  }
+
+  var checksum = 0;
+  for (var run = 0; run < 3; run = run + 1) {
+    for (var r = 0; r < 16; r = r + 1) { regs[r] = 0; }
+    regs[3] = run + 1;
+    var pc = 0;
+    var steps = 0;
+    var running = 1;
+    while (running == 1 && steps < 400) {
+      var inst = code[pc];
+      pc = pc + 1;                  // next pc decided at iteration top
+      steps = steps + 1;
+      var op = inst / 1000000;
+      var rd = (inst / 10000) % 100;
+      var ra = (inst / 100) % 100;
+      var rb = inst % 100;
+      if (op == 0) {
+        regs[rd] = regs[ra] + rb;
+      } else if (op == 1) {
+        regs[rd] = regs[ra] + regs[rb];
+      } else if (op == 2) {
+        regs[rd] = (regs[ra] * regs[rb]) % 1000003;
+      } else if (op == 3) {
+        regs[rd] = mem[regs[ra] % 128];
+      } else if (op == 4) {
+        mem[regs[ra] % 128] = regs[rd];
+      } else if (op == 5) {
+        regs[rd] = regs[ra] ^ regs[rb];
+      } else if (op == 6) {
+        if (regs[ra] != regs[rb]) { pc = pc - 7; }
+      } else {
+        running = 0;
+      }
+    }
+    checksum = (checksum + regs[5] + steps) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="MipsSimulator",
+    category=INTEGER,
+    description="CPU simulator",
+    source_text=SOURCE,
+))

@@ -1,0 +1,54 @@
+"""monteCarlo — Monte-Carlo option pricing in the style of Java Grande
+(Table 6 row 12).
+
+Per-sample seeds are derived independently (parallel), sample paths are
+evaluated independently (the main parallel STL), and the results reduce
+into a sum (a compiler-transformable reduction).
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Independent sample paths with per-sample derived seeds.
+func main() {
+  var nsamples = 120;
+  var path_len = 12;
+  var seeds = array(nsamples);
+  var results = array(nsamples);
+
+  // derive independent seeds (parallel: each from the index alone)
+  for (var i = 0; i < nsamples; i = i + 1) {
+    var h = i * 2654435761 % 2147483648;
+    h = (h ^ (h >> 13)) * 1103515245 % 2147483648;
+    seeds[i] = (h ^ (h >> 7)) % 2147483648;
+  }
+
+  // evaluate each sample path (the selected STL: independent threads)
+  for (var s = 0; s < nsamples; s = s + 1) {
+    var x = 1000.0;
+    var seed = seeds[s];
+    for (var t = 0; t < path_len; t = t + 1) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var u = float(seed % 10000) / 10000.0;
+      x = x * (1.0 + (u - 0.5) * 0.08);
+    }
+    var payoff = x - 1000.0;
+    if (payoff < 0.0) { payoff = 0.0; }
+    results[s] = int(payoff * 100.0);
+  }
+
+  // reduction over the results
+  var total = 0;
+  for (var r = 0; r < nsamples; r = r + 1) {
+    total = total + results[r];
+  }
+  return total;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="monteCarlo",
+    category=INTEGER,
+    description="Monte carlo sim",
+    source_text=SOURCE,
+))

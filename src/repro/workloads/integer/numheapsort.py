@@ -1,0 +1,69 @@
+"""NumHeapSort — heap sort (Table 6 row 13).
+
+Sift-down walks create distant, data-dependent array dependences; the
+paper highlights NumHeapSort (with Huffman, db, MipsSimulator) as a
+benchmark whose thread sizes and arc lengths vary wildly yet whose best
+decomposition TEST still identifies.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Standard binary-heap sort over a pseudo-random array.
+func sift_down(a, start, end) {
+  var root = start;
+  var going = 1;
+  while (going == 1 && root * 2 + 1 <= end) {
+    var child = root * 2 + 1;
+    if (child + 1 <= end && a[child] < a[child + 1]) {
+      child = child + 1;
+    }
+    if (a[root] < a[child]) {
+      var t = a[root];
+      a[root] = a[child];
+      a[child] = t;
+      root = child;
+    } else {
+      going = 0;
+    }
+  }
+}
+
+func main() {
+  var n = 700;
+  var a = array(n);
+  var seed = 13;
+  for (var i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    a[i] = (seed >> 7) % 100000;
+  }
+
+  // heapify: independent sub-heaps at first, converging toward the root
+  for (var start = n / 2 - 1; start >= 0; start = start - 1) {
+    sift_down(a, start, n - 1);
+  }
+  // extraction: strictly serial root swaps
+  for (var end = n - 1; end > 0; end = end - 1) {
+    var t = a[0];
+    a[0] = a[end];
+    a[end] = t;
+    sift_down(a, 0, end - 1);
+  }
+
+  // verify + checksum (parallel scan)
+  var sorted = 1;
+  var checksum = 0;
+  for (var k = 1; k < n; k = k + 1) {
+    if (a[k - 1] > a[k]) { sorted = 0; }
+    checksum = (checksum + a[k] * k) % 1000003;
+  }
+  return checksum * 10 + sorted;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="NumHeapSort",
+    category=INTEGER,
+    description="Heap sort",
+    source_text=SOURCE,
+))

@@ -1,0 +1,80 @@
+"""raytrace — a small ray tracer (Table 6 row 14).
+
+One selected loop at height 1 (the pixel loop): every iteration traces
+one ray against a handful of spheres with floating-point intersection
+math — independent, mid-sized threads.
+"""
+
+from repro.workloads.registry import INTEGER, Workload, register
+
+SOURCE = """
+// Ray-sphere tracing over a small image.
+func main() {
+  var width = 22;
+  var height = 22;
+  var nspheres = 4;
+  var sx = array(nspheres);
+  var sy = array(nspheres);
+  var sz = array(nspheres);
+  var sr = array(nspheres);
+  var image = array(width * height);
+
+  sx[0] = 0.0;  sy[0] = 0.0;  sz[0] = 6.0;  sr[0] = 2.0;
+  sx[1] = 2.5;  sy[1] = 1.0;  sz[1] = 8.0;  sr[1] = 1.5;
+  sx[2] = -2.0; sy[2] = -1.5; sz[2] = 7.0;  sr[2] = 1.0;
+  sx[3] = 1.0;  sy[3] = -2.0; sz[3] = 5.0;  sr[3] = 0.8;
+
+  // the pixel loop: each iteration traces one primary ray
+  for (var p = 0; p < width * height; p = p + 1) {
+    var px = p % width;
+    var py = p / width;
+    // normalized ray direction
+    var dx = (float(px) / float(width)) - 0.5;
+    var dy = (float(py) / float(height)) - 0.5;
+    var dz = 1.0;
+    var norm = sqrt(dx * dx + dy * dy + dz * dz);
+    dx = dx / norm;
+    dy = dy / norm;
+    dz = dz / norm;
+
+    var best_t = 1000.0;
+    var best_s = -1;
+    for (var s = 0; s < nspheres; s = s + 1) {
+      // |o + t d - c|^2 = r^2 with origin o = (0,0,0)
+      var ocx = 0.0 - sx[s];
+      var ocy = 0.0 - sy[s];
+      var ocz = 0.0 - sz[s];
+      var b = 2.0 * (dx * ocx + dy * ocy + dz * ocz);
+      var c = ocx * ocx + ocy * ocy + ocz * ocz - sr[s] * sr[s];
+      var disc = b * b - 4.0 * c;
+      if (disc > 0.0) {
+        var t = (0.0 - b - sqrt(disc)) / 2.0;
+        if (t > 0.0 && t < best_t) {
+          best_t = t;
+          best_s = s;
+        }
+      }
+    }
+    if (best_s >= 0) {
+      // simple diffuse shade from the hit distance
+      var shade = 255.0 / (1.0 + best_t * 0.3);
+      image[p] = int(shade) + best_s;
+    } else {
+      image[p] = 16;   // background
+    }
+  }
+
+  var checksum = 0;
+  for (var k = 0; k < width * height; k = k + 1) {
+    checksum = (checksum + image[k] * (k % 17 + 1)) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="raytrace",
+    category=INTEGER,
+    description="Raytracer",
+    source_text=SOURCE,
+))

@@ -1,0 +1,7 @@
+"""Multimedia workloads (Table 6 rows 22-26)."""
+
+from repro.workloads.multimedia import decjpeg  # noqa: F401
+from repro.workloads.multimedia import encjpeg  # noqa: F401
+from repro.workloads.multimedia import h263dec  # noqa: F401
+from repro.workloads.multimedia import mpegvideo  # noqa: F401
+from repro.workloads.multimedia import mp3  # noqa: F401

@@ -1,0 +1,81 @@
+"""decJpeg — JPEG-style image decoder (Table 6 row 22).
+
+Block-structured work: dequantization, separable 8x8 inverse DCT (row
+pass then column pass), level shift/clamp, all per block — the paper's
+most STL-rich benchmark (21 selected loops, small 124-cycle threads).
+"""
+
+from repro.workloads.registry import MULTIMEDIA, Workload, register
+
+SOURCE = """
+// Dequant + integer IDCT + clamp over a stream of 8x8 blocks.
+func main() {
+  var nblocks = 12;
+  var coeff = array(nblocks * 64);
+  var quant = array(64);
+  var block = array(64);
+  var tmp = array(64);
+  var pixels = array(nblocks * 64);
+
+  var seed = 37;
+  for (var q = 0; q < 64; q = q + 1) {
+    quant[q] = 4 + (q * 3) % 24;
+  }
+  for (var i = 0; i < nblocks * 64; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    // mostly-zero high frequencies, like real JPEG data
+    if (i % 64 < 12) {
+      coeff[i] = (seed >> 8) % 64 - 32;
+    } else {
+      coeff[i] = 0;
+    }
+  }
+
+  // the block loop: each iteration decodes one 8x8 block
+  for (var b = 0; b < nblocks; b = b + 1) {
+    // dequantize
+    for (var c = 0; c < 64; c = c + 1) {
+      block[c] = coeff[b * 64 + c] * quant[c];
+    }
+    // row pass of a butterfly-style integer transform
+    for (var r = 0; r < 8; r = r + 1) {
+      for (var x = 0; x < 8; x = x + 1) {
+        var acc = 0;
+        for (var u = 0; u < 8; u = u + 1) {
+          // integer cosine table via a quadratic approximation
+          var cu = 64 - ((2 * x + 1) * u * (2 * x + 1) * u / 41) % 128;
+          acc = acc + block[r * 8 + u] * cu;
+        }
+        tmp[r * 8 + x] = acc / 64;
+      }
+    }
+    // column pass
+    for (var col = 0; col < 8; col = col + 1) {
+      for (var y = 0; y < 8; y = y + 1) {
+        var acc2 = 0;
+        for (var u2 = 0; u2 < 8; u2 = u2 + 1) {
+          var cu2 = 64 - ((2 * y + 1) * u2 * (2 * y + 1) * u2 / 41) % 128;
+          acc2 = acc2 + tmp[u2 * 8 + col] * cu2;
+        }
+        var px = acc2 / 64 + 128;
+        if (px < 0) { px = 0; }
+        if (px > 255) { px = 255; }
+        pixels[b * 64 + y * 8 + col] = px;
+      }
+    }
+  }
+
+  var checksum = 0;
+  for (var k = 0; k < nblocks * 64; k = k + 1) {
+    checksum = (checksum + pixels[k] * (k % 29 + 1)) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="decJpeg",
+    category=MULTIMEDIA,
+    description="Image decoder",
+    source_text=SOURCE,
+))

@@ -1,0 +1,83 @@
+"""encJpeg — JPEG-style image encoder (Table 6 row 23).
+
+Forward transform, quantization, zig-zag reordering and a run-length
+pass per 8x8 block.
+"""
+
+from repro.workloads.registry import MULTIMEDIA, Workload, register
+
+SOURCE = """
+// Forward DCT-ish transform + quant + zigzag + RLE per block.
+func main() {
+  var nblocks = 10;
+  var image = array(nblocks * 64);
+  var quant = array(64);
+  var zigzag = array(64);
+  var block = array(64);
+  var tmp = array(64);
+  var out = array(nblocks * 64);
+
+  var seed = 43;
+  for (var i = 0; i < nblocks * 64; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    image[i] = (seed >> 9) % 256;
+  }
+  for (var q = 0; q < 64; q = q + 1) {
+    quant[q] = 8 + (q * 5) % 40;
+  }
+  // zig-zag order approximated by diagonal sort index
+  for (var z = 0; z < 64; z = z + 1) {
+    var zr = z / 8;
+    var zc = z % 8;
+    zigzag[z] = ((zr + zc) * 8 + zr) % 64;
+  }
+
+  var out_syms = 0;
+  var checksum = 0;
+  for (var b = 0; b < nblocks; b = b + 1) {
+    // level shift + row transform
+    for (var r = 0; r < 8; r = r + 1) {
+      for (var x = 0; x < 8; x = x + 1) {
+        var acc = 0;
+        for (var u = 0; u < 8; u = u + 1) {
+          var cu = 64 - ((2 * u + 1) * x * (2 * u + 1) * x / 41) % 128;
+          acc = acc + (image[b * 64 + r * 8 + u] - 128) * cu;
+        }
+        tmp[r * 8 + x] = acc / 64;
+      }
+    }
+    // column transform + quantization
+    for (var col = 0; col < 8; col = col + 1) {
+      for (var y = 0; y < 8; y = y + 1) {
+        var acc2 = 0;
+        for (var u2 = 0; u2 < 8; u2 = u2 + 1) {
+          var cu2 = 64 - ((2 * u2 + 1) * y * (2 * u2 + 1) * y / 41) % 128;
+          acc2 = acc2 + tmp[u2 * 8 + col] * cu2;
+        }
+        block[y * 8 + col] = acc2 / (64 * quant[y * 8 + col]);
+      }
+    }
+    // zig-zag + run-length coding (serial within the block)
+    var run = 0;
+    for (var z2 = 0; z2 < 64; z2 = z2 + 1) {
+      var v = block[zigzag[z2]];
+      if (v == 0) {
+        run = run + 1;
+      } else {
+        out[b * 64 + out_syms % 64] = run * 256 + (v & 255);
+        checksum = (checksum + run * 31 + v) % 1000003;
+        out_syms = out_syms + 1;
+        run = 0;
+      }
+    }
+  }
+  return checksum * 100 + out_syms % 100;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="encJpeg",
+    category=MULTIMEDIA,
+    description="Image compression",
+    source_text=SOURCE,
+))

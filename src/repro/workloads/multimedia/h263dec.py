@@ -1,0 +1,82 @@
+"""h263dec — video decoder (Table 6 row 24).
+
+Macroblock-structured decoding: motion-compensated prediction copies,
+residual addition with clamping, and a deblocking smoothing pass.
+"""
+
+from repro.workloads.registry import MULTIMEDIA, Workload, register
+
+SOURCE = """
+// Motion compensation + residual add + deblock over macroblocks.
+func main() {
+  var w = 48;
+  var h = 32;
+  var ref = array(w * h);
+  var cur = array(w * h);
+  var mb = 16;
+  var n_mb_x = w / mb;
+  var n_mb_y = h / mb;
+  var n_mbs = n_mb_x * n_mb_y;
+  var mv_x = array(n_mbs);
+  var mv_y = array(n_mbs);
+
+  var seed = 53;
+  for (var i = 0; i < w * h; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    ref[i] = (seed >> 10) % 256;
+  }
+  for (var m = 0; m < n_mbs; m = m + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    mv_x[m] = (seed >> 6) % 5 - 2;
+    mv_y[m] = (seed >> 11) % 5 - 2;
+  }
+
+  for (var frame = 0; frame < 2; frame = frame + 1) {
+    // macroblock loop: the main STL (independent blocks)
+    for (var m2 = 0; m2 < n_mbs; m2 = m2 + 1) {
+      var bx = (m2 % n_mb_x) * mb;
+      var by = (m2 / n_mb_x) * mb;
+      for (var y = 0; y < mb; y = y + 1) {
+        for (var x = 0; x < mb; x = x + 1) {
+          var sx = bx + x + mv_x[m2];
+          var sy = by + y + mv_y[m2];
+          if (sx < 0) { sx = 0; }
+          if (sx >= w) { sx = w - 1; }
+          if (sy < 0) { sy = 0; }
+          if (sy >= h) { sy = h - 1; }
+          var pred = ref[sy * w + sx];
+          var resid = ((bx + x) * 7 + (by + y) * 13 + frame * 3) % 17 - 8;
+          var px = pred + resid;
+          if (px < 0) { px = 0; }
+          if (px > 255) { px = 255; }
+          cur[(by + y) * w + bx + x] = px;
+        }
+      }
+    }
+    // horizontal deblock pass (independent rows)
+    for (var dy = 0; dy < h; dy = dy + 1) {
+      for (var dx = 1; dx < w - 1; dx = dx + 1) {
+        var idx = dy * w + dx;
+        cur[idx] = (cur[idx - 1] + 2 * cur[idx] + cur[idx + 1]) / 4;
+      }
+    }
+    // the decoded frame becomes the next reference (copy loop)
+    for (var c = 0; c < w * h; c = c + 1) {
+      ref[c] = cur[c];
+    }
+  }
+
+  var checksum = 0;
+  for (var k = 0; k < w * h; k = k + 1) {
+    checksum = (checksum + ref[k] * (k % 31 + 1)) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="h263dec",
+    category=MULTIMEDIA,
+    description="Video decoder",
+    source_text=SOURCE,
+))

@@ -1,0 +1,72 @@
+"""mp3 — audio decoder (Table 6 row 26).
+
+The paper's mp3 row: many loops (98), many selected STLs (17) but also
+a significant serial remainder from the bitstream/Huffman stage.  The
+kernel mirrors that split: serial bit decoding, then parallel
+dequantization, a 32-point synthesis transform, and windowing per
+granule.
+"""
+
+from repro.workloads.registry import MULTIMEDIA, Workload, register
+
+SOURCE = """
+// Bit decode (serial) + dequant + subband synthesis per granule.
+func main() {
+  var ngranules = 6;
+  var nsub = 32;
+  var spectrum = array(nsub);
+  var synth = array(nsub);
+  var window = array(nsub * 4);
+  var pcm = array(ngranules * nsub);
+  var bitstream = array(ngranules * nsub);
+
+  var seed = 61;
+  for (var i = 0; i < ngranules * nsub; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    bitstream[i] = (seed >> 7) % 64;
+  }
+  for (var wv = 0; wv < nsub * 4; wv = wv + 1) {
+    window[wv] = sin(float(wv) * 0.05) * 0.8;
+  }
+
+  var checksum = 0;
+  for (var g = 0; g < ngranules; g = g + 1) {
+    // serial bitstream decode: value depends on running bit position
+    var bitpos = 0;
+    for (var s = 0; s < nsub; s = s + 1) {
+      var raw = bitstream[g * nsub + s];
+      var nbits = 2 + raw % 5;
+      bitpos = bitpos + nbits;
+      spectrum[s] = (raw * (bitpos % 7 + 1)) % 64 - 32;
+    }
+    // dequantization (independent per line)
+    for (var s2 = 0; s2 < nsub; s2 = s2 + 1) {
+      var v = float(spectrum[s2]);
+      synth[s2] = v * abs(v) * 0.01;
+    }
+    // 32-point synthesis transform (each output independent)
+    for (var k = 0; k < nsub; k = k + 1) {
+      var acc = 0.0;
+      for (var s3 = 0; s3 < nsub; s3 = s3 + 1) {
+        acc = acc + synth[s3]
+            * cos(float((2 * k + 1) * s3) * 0.049);
+      }
+      var widx = (k * 3) % (nsub * 4);
+      pcm[g * nsub + k] = acc * window[widx];
+    }
+  }
+
+  var energy = 0.0;
+  for (var e = 0; e < ngranules * nsub; e = e + 1) {
+    energy = energy + pcm[e] * pcm[e];
+  }
+  return int(energy * 100.0) % 1000003;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="mp3",
+    category=MULTIMEDIA,
+    description="mp3 decoder",
+    source_text=SOURCE,
+))

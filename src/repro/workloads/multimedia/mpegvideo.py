@@ -1,0 +1,104 @@
+"""mpegVideo — MPEG-style video decoder (Table 6 row 25).
+
+Per-block dequantization and inverse transform plus motion-compensated
+prediction, at a smaller block size than JPEG (the paper reports 23
+threads/entry at ~700 cycles: fewer, chunkier block loops).
+"""
+
+from repro.workloads.registry import MULTIMEDIA, Workload, register
+
+SOURCE = """
+// Dequant + 4x4 inverse transform + MC prediction per block.
+func main() {
+  var w = 32;
+  var h = 32;
+  var ref = array(w * h);
+  var cur = array(w * h);
+  var bs = 4;
+  var nbx = w / bs;
+  var nby = h / bs;
+  var nblocks = nbx * nby;
+  var coeff = array(nblocks * 16);
+  var block = array(16);
+  var tmp = array(16);
+
+  var seed = 59;
+  for (var i = 0; i < w * h; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    ref[i] = (seed >> 10) % 256;
+  }
+  for (var c = 0; c < nblocks * 16; c = c + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (c % 16 < 6) {
+      coeff[c] = (seed >> 8) % 32 - 16;
+    } else {
+      coeff[c] = 0;
+    }
+  }
+
+  for (var frame = 0; frame < 2; frame = frame + 1) {
+    for (var b = 0; b < nblocks; b = b + 1) {
+      var bx = (b % nbx) * bs;
+      var by = (b / nbx) * bs;
+      // dequant
+      for (var q = 0; q < 16; q = q + 1) {
+        block[q] = coeff[b * 16 + q] * (6 + q % 10);
+      }
+      // 4x4 inverse transform: rows then columns (H.264-style adds)
+      for (var r = 0; r < 4; r = r + 1) {
+        var s0 = block[r * 4] + block[r * 4 + 2];
+        var s1 = block[r * 4] - block[r * 4 + 2];
+        var s2 = block[r * 4 + 1] / 2 - block[r * 4 + 3];
+        var s3 = block[r * 4 + 1] + block[r * 4 + 3] / 2;
+        tmp[r * 4] = s0 + s3;
+        tmp[r * 4 + 1] = s1 + s2;
+        tmp[r * 4 + 2] = s1 - s2;
+        tmp[r * 4 + 3] = s0 - s3;
+      }
+      for (var col = 0; col < 4; col = col + 1) {
+        var t0 = tmp[col] + tmp[8 + col];
+        var t1 = tmp[col] - tmp[8 + col];
+        var t2 = tmp[4 + col] / 2 - tmp[12 + col];
+        var t3 = tmp[4 + col] + tmp[12 + col] / 2;
+        block[col] = (t0 + t3) / 64;
+        block[4 + col] = (t1 + t2) / 64;
+        block[8 + col] = (t1 - t2) / 64;
+        block[12 + col] = (t0 - t3) / 64;
+      }
+      // motion-compensated reconstruction (mv derived from block id)
+      var mvx = b % 3 - 1;
+      var mvy = (b / 3) % 3 - 1;
+      for (var y = 0; y < bs; y = y + 1) {
+        for (var x = 0; x < bs; x = x + 1) {
+          var sx = bx + x + mvx;
+          var sy = by + y + mvy;
+          if (sx < 0) { sx = 0; }
+          if (sx >= w) { sx = w - 1; }
+          if (sy < 0) { sy = 0; }
+          if (sy >= h) { sy = h - 1; }
+          var px = ref[sy * w + sx] + block[y * 4 + x];
+          if (px < 0) { px = 0; }
+          if (px > 255) { px = 255; }
+          cur[(by + y) * w + bx + x] = px;
+        }
+      }
+    }
+    for (var cp = 0; cp < w * h; cp = cp + 1) {
+      ref[cp] = cur[cp];
+    }
+  }
+
+  var checksum = 0;
+  for (var k = 0; k < w * h; k = k + 1) {
+    checksum = (checksum + ref[k] * (k % 23 + 1)) % 1000003;
+  }
+  return checksum;
+}
+"""
+
+WORKLOAD = register(Workload(
+    name="mpegVideo",
+    category=MULTIMEDIA,
+    description="Video decoder",
+    source_text=SOURCE,
+))

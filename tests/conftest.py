@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.jrpm import Jrpm
+from repro.lang import compile_source
+
+HERE = os.path.dirname(__file__)
+
+#: a small nest: parallel init loop, reduction loop, nested matrix loop
+NEST_SOURCE = """
+func main() {
+  var a = array(64);
+  var s = 0;
+  for (var i = 0; i < 8; i = i + 1) {
+    for (var j = 0; j < 8; j = j + 1) {
+      a[i * 8 + j] = i + j;
+    }
+  }
+  for (var k = 0; k < 64; k = k + 1) {
+    s = s + a[k];
+  }
+  return s;
+}
+"""
+
+#: the paper's Figure 3 loop shape: outer symbol loop, inner bit chase
+HUFFMAN_SOURCE = """
+func main() {
+  var tree_left = array(32);
+  var tree_right = array(32);
+  var tree_char = array(32);
+  var bits = array(2048);
+  var out = array(2048);
+  for (var n = 0; n < 32; n = n + 1) {
+    if (n < 15) {
+      tree_left[n] = 2 * n + 1;
+      tree_right[n] = 2 * n + 2;
+    } else {
+      tree_left[n] = -1;
+      tree_right[n] = -1;
+    }
+    tree_char[n] = n % 61;
+  }
+  var seed = 12345;
+  for (var b = 0; b < 2048; b = b + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    bits[b] = (seed >> 16) & 1;
+  }
+  var in_p = 0;
+  var out_p = 0;
+  while (in_p < 2040) {
+    var node = 0;
+    while (tree_left[node] != -1) {
+      if (bits[in_p] == 0) { node = tree_left[node]; }
+      else { node = tree_right[node]; }
+      in_p = in_p + 1;
+    }
+    out[out_p] = tree_char[node];
+    out_p = out_p + 1;
+  }
+  return out_p;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def nest_program():
+    """Compiled NEST_SOURCE program."""
+    return compile_source(NEST_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def huffman_report():
+    """Full pipeline report for the Huffman-shaped nest (expensive;
+    shared across the suite)."""
+    return Jrpm(source=HUFFMAN_SOURCE, name="huffman-nest").run()
+
+
+@pytest.fixture(scope="session")
+def goldens():
+    """Recorded reference outputs for every workload."""
+    with open(os.path.join(HERE, "goldens.json")) as handle:
+        return json.load(handle)

@@ -1,0 +1,54 @@
+"""Tests for the fleet/batch API."""
+
+import pytest
+
+from repro.hydra import HydraConfig
+from repro.jrpm.batch import FleetResult, run_fleet
+from repro.workloads import get_workload
+
+SAMPLE = ["IDEA", "monteCarlo", "raytrace"]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return run_fleet([get_workload(n) for n in SAMPLE])
+
+
+class TestFleet:
+    def test_rows_in_order(self, fleet):
+        assert [r.name for r in fleet] == SAMPLE
+        assert len(fleet) == 3
+
+    def test_lookup_by_name(self, fleet):
+        row = fleet.by_name["IDEA"]
+        assert row.loop_count >= 2
+        assert row.selected_count >= 1
+        assert row.thread_size > 0
+        assert row.threads_per_entry > 0
+
+    def test_aggregates(self, fleet):
+        assert 1.0 < fleet.median_slowdown < 1.5
+        assert 0.5 < fleet.geomean_prediction_ratio < 2.0
+
+    def test_render(self, fleet):
+        text = fleet.render()
+        for name in SAMPLE:
+            assert name in text
+        assert "Pred" in text and "Actual" in text
+
+    def test_table6_columns_consistent_with_reports(self, fleet):
+        for row in fleet:
+            assert row.loop_count \
+                == row.report.candidates.loop_count
+            assert row.coverage == row.report.coverage
+            assert row.dynamic_depth >= 1
+
+    def test_kwargs_flow_into_pipeline(self):
+        w = get_workload("IDEA")
+        plain = run_fleet([w], simulate_tls=False)
+        assert plain.rows[0].actual_speedup == 1.0  # no TLS run
+        custom = run_fleet([w], config=HydraConfig(n_cpus=8),
+                           simulate_tls=False)
+        # with 8 CPUs the arc-free block loop can predict above 4x
+        assert custom.rows[0].predicted_speedup \
+            >= plain.rows[0].predicted_speedup

@@ -1,0 +1,208 @@
+"""Unit tests for CFG construction, dominators, and natural loops."""
+
+import pytest
+
+from repro.bytecode import Instr, Op
+from repro.cfg import (
+    build_cfg,
+    compute_dominators,
+    find_loops,
+)
+from repro.errors import BytecodeError
+from repro.lang import compile_source
+from repro.runtime import run_program
+
+NESTED = """
+func main() {
+  var s = 0;
+  for (var i = 0; i < 4; i = i + 1) {
+    for (var j = 0; j < 4; j = j + 1) {
+      s = s + i * j;
+    }
+  }
+  while (s > 100) { s = s - 10; }
+  return s;
+}
+"""
+
+
+def cfg_of(source, fn="main"):
+    program = compile_source(source)
+    return program, build_cfg(program.functions[fn])
+
+
+class TestCFGConstruction:
+    def test_entry_is_block_zero(self):
+        _, cfg = cfg_of(NESTED)
+        assert cfg.entry == 0
+
+    def test_every_block_ends_with_terminator(self):
+        _, cfg = cfg_of(NESTED)
+        for block in cfg.blocks.values():
+            assert block.terminator.op in (Op.JMP, Op.BR, Op.RET)
+
+    def test_branch_targets_are_block_ids(self):
+        _, cfg = cfg_of(NESTED)
+        for bid in cfg.blocks:
+            for succ in cfg.successors(bid):
+                assert succ in cfg.blocks
+
+    def test_predecessors_inverse_of_successors(self):
+        _, cfg = cfg_of(NESTED)
+        preds = cfg.predecessors_map()
+        for bid in cfg.blocks:
+            for succ in cfg.successors(bid):
+                assert bid in preds[succ]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        _, cfg = cfg_of(NESTED)
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == cfg.entry
+        assert len(rpo) == len(set(rpo))
+
+    def test_linearize_roundtrip_preserves_semantics(self):
+        program, cfg = cfg_of(NESTED)
+        rebuilt = cfg.linearize()
+        from repro.bytecode import Program, verify_program
+        p2 = Program()
+        p2.add(rebuilt)
+        verify_program(p2)
+        assert run_program(p2).return_value \
+            == run_program(program).return_value
+
+    def test_split_edge_redirects(self):
+        _, cfg = cfg_of(NESTED)
+        # pick any edge and split it
+        src = cfg.entry
+        dst = cfg.successors(src)[0]
+        mid = cfg.split_edge(src, dst, [Instr(Op.NOP)])
+        assert cfg.successors(src) == [mid]
+        assert cfg.successors(mid) == [dst]
+
+    def test_split_nonexistent_edge_rejected(self):
+        _, cfg = cfg_of(NESTED)
+        with pytest.raises(BytecodeError):
+            cfg.split_edge(cfg.entry, cfg.entry, [Instr(Op.NOP)])
+
+    def test_split_edge_payload_rejects_terminators(self):
+        _, cfg = cfg_of(NESTED)
+        src = cfg.entry
+        dst = cfg.successors(src)[0]
+        with pytest.raises(BytecodeError):
+            cfg.split_edge(src, dst, [Instr(Op.RET)])
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        _, cfg = cfg_of(NESTED)
+        dom = compute_dominators(cfg)
+        for bid in cfg.reachable():
+            assert dom.dominates(cfg.entry, bid)
+
+    def test_self_domination(self):
+        _, cfg = cfg_of(NESTED)
+        dom = compute_dominators(cfg)
+        for bid in cfg.reachable():
+            assert dom.dominates(bid, bid)
+
+    def test_idom_is_unique_and_acyclic(self):
+        _, cfg = cfg_of(NESTED)
+        dom = compute_dominators(cfg)
+        assert dom.idom[cfg.entry] is None
+        for bid in dom.idom:
+            chain = dom.dominators_of(bid)
+            assert len(chain) == len(set(chain))
+            assert chain[-1] == cfg.entry
+
+    def test_dominance_is_antisymmetric(self):
+        _, cfg = cfg_of(NESTED)
+        dom = compute_dominators(cfg)
+        blocks = sorted(cfg.reachable())
+        for a in blocks:
+            for b in blocks:
+                if a != b and dom.dominates(a, b):
+                    assert not dom.dominates(b, a)
+
+    def test_diamond_join_dominated_by_fork(self):
+        src = """
+        func main() {
+          var x = 1;
+          if (x) { x = 2; } else { x = 3; }
+          return x;
+        }
+        """
+        _, cfg = cfg_of(src)
+        dom = compute_dominators(cfg)
+        # the fork block (entry) dominates the join; neither arm does
+        preds = cfg.predecessors_map()
+        joins = [b for b, ps in preds.items() if len(ps) >= 2]
+        assert joins
+        for join in joins:
+            for p in preds[join]:
+                if len(cfg.successors(p)) == 1:
+                    assert not dom.dominates(p, join)
+
+
+class TestNaturalLoops:
+    def test_loop_count_and_nesting(self):
+        _, cfg = cfg_of(NESTED)
+        forest = find_loops(cfg)
+        assert len(forest.loops) == 3
+        assert forest.max_depth == 2
+        depths = sorted(lp.depth for lp in forest.loops)
+        assert depths == [1, 1, 2]
+
+    def test_header_in_own_loop(self):
+        _, cfg = cfg_of(NESTED)
+        for lp in find_loops(cfg).loops:
+            assert lp.header in lp.blocks
+
+    def test_inner_loop_contained_in_outer(self):
+        _, cfg = cfg_of(NESTED)
+        forest = find_loops(cfg)
+        inner = [lp for lp in forest.loops if lp.depth == 2][0]
+        assert inner.parent is not None
+        assert inner.blocks < inner.parent.blocks
+
+    def test_back_edges_point_at_header(self):
+        _, cfg = cfg_of(NESTED)
+        for lp in find_loops(cfg).loops:
+            for src, dst in lp.back_edges():
+                assert dst == lp.header
+                assert src in lp.blocks
+
+    def test_entry_edges_come_from_outside(self):
+        _, cfg = cfg_of(NESTED)
+        for lp in find_loops(cfg).loops:
+            for src, dst in lp.entry_edges(cfg):
+                assert dst == lp.header
+                assert src not in lp.blocks
+
+    def test_exit_edges_leave_the_loop(self):
+        _, cfg = cfg_of(NESTED)
+        for lp in find_loops(cfg).loops:
+            for src, dst in lp.exit_edges(cfg):
+                assert src in lp.blocks
+                assert dst not in lp.blocks
+
+    def test_heights(self):
+        _, cfg = cfg_of(NESTED)
+        forest = find_loops(cfg)
+        outer = [lp for lp in forest.loops
+                 if lp.depth == 1 and lp.children][0]
+        inner = outer.children[0]
+        assert inner.height1() == 1
+        assert outer.height1() == 2
+
+    def test_straightline_code_has_no_loops(self):
+        _, cfg = cfg_of("func main() { return 1 + 2; }")
+        assert find_loops(cfg).loops == []
+
+    def test_loop_of_block_innermost(self):
+        _, cfg = cfg_of(NESTED)
+        forest = find_loops(cfg)
+        inner = [lp for lp in forest.loops if lp.depth == 2][0]
+        for bid in inner.blocks:
+            if bid != inner.header:
+                found = forest.loop_of_block(bid)
+                assert found is not None and found.depth >= 2

@@ -1,0 +1,46 @@
+"""Tests for the ``jrpm`` command-line interface."""
+
+import pytest
+
+from repro.jrpm.cli import main
+
+
+class TestCLI:
+    def test_list_shows_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Huffman", "moldyn", "mp3"):
+            assert name in out
+        assert len(out.strip().splitlines()) == 26
+
+    def test_run_workload_by_name(self, capsys):
+        assert main(["run", "IDEA"]) == 0
+        out = capsys.readouterr().out
+        assert "Jrpm report: IDEA" in out
+        assert "predicted speedup" in out
+        assert "actual speedup" in out
+
+    def test_run_source_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.mj"
+        path.write_text(
+            "func main() { var s = 0; "
+            "for (var i = 0; i < 50; i = i + 1) { s = s + i; } "
+            "return s; }")
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "prog.mj" in out
+
+    def test_run_no_tls(self, capsys):
+        assert main(["run", "IDEA", "--no-tls"]) == 0
+        out = capsys.readouterr().out
+        assert "actual speedup" not in out
+
+    def test_run_extended_prints_profiles(self, capsys):
+        assert main(["run", "Huffman", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "Dependency profile" in out
+
+    def test_unknown_workload_fails_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "not-a-workload"])
+        assert "unknown workload" in str(exc.value)

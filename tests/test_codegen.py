@@ -1,0 +1,213 @@
+"""Unit tests for minijava code generation (via execution)."""
+
+import pytest
+
+from repro.bytecode import Op, verify_program
+from repro.lang import compile_source
+from repro.runtime import run_program
+
+
+def result(source):
+    return run_program(compile_source(source)).return_value
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert result("func main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_division_truncates_toward_zero(self):
+        assert result("func main() { return 7 / 2; }") == 3
+        assert result("func main() { return -7 / 2; }") == -3
+
+    def test_java_modulo(self):
+        assert result("func main() { return -7 % 3; }") == -1
+        assert result("func main() { return 7 % -3; }") == 1
+
+    def test_bitwise(self):
+        assert result("func main() { return (12 & 10) | (1 ^ 3); }") \
+            == (12 & 10) | (1 ^ 3)
+
+    def test_shifts(self):
+        assert result("func main() { return (1 << 10) >> 3; }") == 128
+
+    def test_comparisons_produce_01(self):
+        assert result("func main() { return (3 < 4) + (4 < 3); }") == 1
+
+    def test_unary(self):
+        assert result("func main() { return -(3) + !0 + !5 + ~0; }") \
+            == -3 + 1 + 0 - 1
+
+    def test_float_arithmetic(self):
+        assert result("func main() { return int(1.5 * 4.0); }") == 6
+
+    def test_mixed_int_float(self):
+        assert result("func main() { return int(3 * 1.5); }") == 4
+
+    def test_casts(self):
+        assert result("func main() { return int(float(7) / 2.0); }") == 3
+
+    def test_intrinsics(self):
+        assert result("func main() { return int(sqrt(81.0)); }") == 9
+        assert result("func main() { return max(3, 7) + min(2, 5); }") \
+            == 9
+        assert result("func main() { return abs(-4) + floor(2.9); }") == 6
+        assert result("func main() { return int(pow(2.0, 10.0)); }") \
+            == 1024
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        func classify(x) {
+          if (x < 0) { return -1; }
+          else if (x == 0) { return 0; }
+          else { return 1; }
+        }
+        func main() {
+          return classify(-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert result(src) == -1 * 100 + 0 * 10 + 1
+
+    def test_short_circuit_and_avoids_side_effect(self):
+        # division by zero on the rhs must not execute when lhs is false
+        src = """
+        func main() {
+          var x = 0;
+          if (x != 0 && 10 / x > 1) { return 1; }
+          return 2;
+        }
+        """
+        assert result(src) == 2
+
+    def test_short_circuit_or(self):
+        src = """
+        func main() {
+          var x = 0;
+          if (1 || 10 / x > 1) { return 7; }
+          return 2;
+        }
+        """
+        assert result(src) == 7
+
+    def test_logical_result_is_01(self):
+        assert result("func main() { return (5 && 9) + (0 || 3); }") == 2
+
+    def test_while_with_break_continue(self):
+        src = """
+        func main() {
+          var n = 0;
+          var i = 0;
+          while (1) {
+            i = i + 1;
+            if (i > 20) { break; }
+            if (i % 2 == 0) { continue; }
+            n = n + i;
+          }
+          return n;
+        }
+        """
+        assert result(src) == sum(i for i in range(1, 21) if i % 2)
+
+    def test_nested_loop_break_only_inner(self):
+        src = """
+        func main() {
+          var n = 0;
+          for (var i = 0; i < 3; i = i + 1) {
+            for (var j = 0; j < 10; j = j + 1) {
+              if (j == 2) { break; }
+              n = n + 1;
+            }
+          }
+          return n;
+        }
+        """
+        assert result(src) == 6
+
+    def test_for_continue_still_steps(self):
+        src = """
+        func main() {
+          var n = 0;
+          for (var i = 0; i < 10; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            n = n + i;
+          }
+          return n;
+        }
+        """
+        assert result(src) == 25
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        func fact(n) {
+          if (n <= 1) { return 1; }
+          return n * fact(n - 1);
+        }
+        func main() { return fact(10); }
+        """
+        assert result(src) == 3628800
+
+    def test_mutual_recursion(self):
+        src = """
+        func is_even(n) {
+          if (n == 0) { return 1; }
+          return is_odd(n - 1);
+        }
+        func is_odd(n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        func main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert result(src) == 11
+
+    def test_array_passed_by_reference(self):
+        src = """
+        func fill(a, v) {
+          for (var i = 0; i < len(a); i = i + 1) { a[i] = v; }
+        }
+        func main() {
+          var a = array(5);
+          fill(a, 7);
+          return a[0] + a[4];
+        }
+        """
+        assert result(src) == 14
+
+    def test_value_returning_fallthrough_returns_zero(self):
+        src = """
+        func f(x) {
+          if (x) { return 5; }
+          x = x + 1;
+          return x;
+        }
+        func main() { return f(0); }
+        """
+        assert result(src) == 1
+
+
+class TestStructure:
+    def test_programs_verify(self, nest_program):
+        verify_program(nest_program)
+
+    def test_named_locals_precede_temps(self, nest_program):
+        fn = nest_program.main
+        assert fn.n_named >= 4  # a, s, i, j, k
+        # named slots have names, and slots are contiguous from 0
+        for slot in range(fn.n_named):
+            assert slot in fn.slot_names
+
+    def test_shadowed_names_get_distinct_slots(self):
+        src = """
+        func main() {
+          var x = 1;
+          if (x) { var x = 2; }
+          return x;
+        }
+        """
+        program = compile_source(src)
+        assert result(src) == 1
+        names = list(program.main.slot_names.values())
+        assert len(names) == len(set(names))  # unique synthetic names

@@ -1,0 +1,236 @@
+"""Unit tests for the TEST device (bank array, event routing,
+dynamic nesting, convergence)."""
+
+import pytest
+
+from repro.errors import TracerError
+from repro.hydra import HydraConfig
+from repro.tracer import TestDevice
+
+
+class TestEventRouting:
+    def test_heap_raw_dependency_detected(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 100)
+        dev.on_store(0x1000, 150)
+        dev.on_eoi(0, 200)
+        dev.on_load(0x1000, 230)
+        dev.on_eoi(0, 300)
+        dev.on_eloop(0, 310)
+        dev.finish()
+        st = dev.stats[0]
+        assert st.arcs_prev == 1
+        assert st.arc_len_prev == 80
+
+    def test_word_granular_addresses(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 100)
+        dev.on_store(0x1000, 150)
+        dev.on_eoi(0, 200)
+        dev.on_load(0x1004, 230)  # adjacent word: no dependence
+        dev.on_eoi(0, 300)
+        dev.on_eloop(0, 310)
+        assert dev.stats[0].arcs_prev == 0
+
+    def test_local_events_respect_frame(self):
+        dev = TestDevice()
+        dev.register_loop_locals(0, [2])
+        dev.on_sloop(0, 1, 100, frame_id=7)
+        dev.on_local_store(7, 2, 150)
+        dev.on_eoi(0, 200)
+        # same slot, different frame: must not form an arc
+        dev.on_local_load(9, 2, 230)
+        dev.on_eoi(0, 300)
+        dev.on_eloop(0, 310)
+        assert dev.stats[0].arcs_prev == 0
+
+    def test_local_events_respect_reserved_slots(self):
+        dev = TestDevice()
+        dev.register_loop_locals(0, [2])
+        dev.on_sloop(0, 1, 100, frame_id=7)
+        dev.on_local_store(7, 3, 150)   # slot 3 not reserved
+        dev.on_eoi(0, 200)
+        dev.on_local_load(7, 3, 230)
+        dev.on_eoi(0, 300)
+        dev.on_eloop(0, 310)
+        assert dev.stats[0].arcs_prev == 0
+
+    def test_reserved_local_forms_arc(self):
+        dev = TestDevice()
+        dev.register_loop_locals(0, [2])
+        dev.on_sloop(0, 1, 100, frame_id=7)
+        dev.on_local_store(7, 2, 150)
+        dev.on_eoi(0, 200)
+        dev.on_local_load(7, 2, 230)
+        dev.on_eoi(0, 300)
+        dev.on_eloop(0, 310)
+        st = dev.stats[0]
+        assert st.arcs_prev == 1
+        assert st.local_arcs == 1
+
+    def test_nested_loops_attribute_arcs_to_right_level(self):
+        # store in one outer iteration, load in the next, with an inner
+        # loop entered fresh in between: only the outer sees the arc
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 0)          # outer
+        dev.on_sloop(1, 0, 10)         # inner entry 1
+        dev.on_store(0x2000, 20)
+        dev.on_eoi(1, 30)
+        dev.on_eloop(1, 40)
+        dev.on_eoi(0, 50)              # outer iteration boundary
+        dev.on_sloop(1, 0, 60)         # inner entry 2
+        dev.on_load(0x2000, 70)
+        dev.on_eoi(1, 80)
+        dev.on_eloop(1, 90)
+        dev.on_eoi(0, 100)
+        dev.on_eloop(0, 110)
+        dev.finish()
+        assert dev.stats[0].arcs_prev == 1
+        assert dev.stats[1].arcs_prev == 0
+        assert dev.stats[1].arcs_earlier == 0
+
+
+class TestBankManagement:
+    def test_bank_exhaustion_disables_deep_loops(self):
+        dev = TestDevice(HydraConfig(n_comparator_banks=2))
+        dev.on_sloop(0, 0, 0)
+        dev.on_sloop(1, 0, 10)
+        dev.on_sloop(2, 0, 20)  # no bank left
+        assert dev.n_unbanked_activations == 1
+        dev.on_eloop(2, 30)
+        dev.on_eloop(1, 40)
+        dev.on_eloop(0, 50)
+        assert 2 not in dev.stats or dev.stats[2].profiled_threads == 0
+
+    def test_banks_freed_on_eloop(self):
+        dev = TestDevice(HydraConfig(n_comparator_banks=1))
+        dev.on_sloop(0, 0, 0)
+        dev.on_eoi(0, 10)
+        dev.on_eloop(0, 20)
+        dev.on_sloop(1, 0, 30)   # bank must be free again
+        dev.on_eoi(1, 40)
+        dev.on_eloop(1, 50)
+        assert dev.n_unbanked_activations == 0
+        assert dev.stats[1].profiled_threads == 1
+
+    def test_mismatched_eloop_raises_in_strict_mode(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 0)
+        with pytest.raises(TracerError):
+            dev.on_eloop(5, 10)
+
+    def test_unbalanced_end_of_run_raises(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 0)
+        with pytest.raises(TracerError):
+            dev.finish()
+
+    def test_non_strict_mode_tolerates_mismatch(self):
+        dev = TestDevice(strict=False)
+        dev.on_eoi(3, 10)
+        dev.on_eloop(3, 20)
+        dev.finish()
+
+
+class TestDynamicNesting:
+    def test_dynamic_parents_recorded_through_markers(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 0)
+        dev.on_sloop(1, 0, 10)
+        dev.on_eloop(1, 20)
+        dev.on_eloop(0, 30)
+        dev.finish()
+        assert dev.dominant_parent(1) == 0
+        assert dev.dominant_parent(0) == -1
+
+    def test_dominant_parent_is_most_frequent(self):
+        dev = TestDevice()
+        for _ in range(3):
+            dev.on_sloop(0, 0, 0)
+            dev.on_sloop(2, 0, 1)
+            dev.on_eloop(2, 2)
+            dev.on_eloop(0, 3)
+        dev.on_sloop(1, 0, 4)
+        dev.on_sloop(2, 0, 5)
+        dev.on_eloop(2, 6)
+        dev.on_eloop(1, 7)
+        assert dev.dominant_parent(2) == 0
+
+    def test_max_dynamic_depth(self):
+        dev = TestDevice()
+        dev.on_sloop(0, 0, 0)
+        dev.on_sloop(1, 0, 1)
+        dev.on_sloop(2, 0, 2)
+        dev.on_eloop(2, 3)
+        dev.on_eloop(1, 4)
+        dev.on_eloop(0, 5)
+        assert dev.max_dynamic_depth() == 3
+
+
+class TestConvergence:
+    def _run_entries(self, dev, loop_id, n, start=0):
+        t = start
+        for _ in range(n):
+            dev.on_sloop(loop_id, 0, t)
+            dev.on_eoi(loop_id, t + 10)
+            dev.on_eloop(loop_id, t + 12)
+            t += 20
+        return t
+
+    def test_loop_converges_by_entries(self):
+        fired = []
+        dev = TestDevice(convergence_threshold=1000,
+                         on_converged=fired.append)
+        self._run_entries(dev, 0, 60)
+        assert 0 in dev.converged
+        assert fired == [0]
+
+    def test_stats_keep_counting_after_convergence(self):
+        dev = TestDevice(convergence_threshold=1000)
+        self._run_entries(dev, 0, 80)
+        st = dev.stats[0]
+        assert st.entries == 80
+        assert st.threads == 80
+        assert st.profiled_threads < st.threads
+
+    def test_sampled_reprofiling_still_collects(self):
+        dev = TestDevice(convergence_threshold=1000)
+        dev.sample_every = 4
+        self._run_entries(dev, 0, 100)
+        st = dev.stats[0]
+        # profiled threads grow past the convergence point via sampling
+        assert st.profiled_threads > 50
+
+    def test_no_threshold_never_converges(self):
+        dev = TestDevice()
+        self._run_entries(dev, 0, 100)
+        assert not dev.converged
+
+    def test_bank_stealing_from_overflowing_outer(self):
+        # a single bank, held by an outer loop that overflows every
+        # thread; when the inner loop asks, the device steals the bank
+        from repro.hydra import HydraConfig
+        dev = TestDevice(HydraConfig(n_comparator_banks=1,
+                                     store_buffer_lines=1))
+        dev.on_sloop(0, 0, 0)      # outer takes the only bank
+        cycle = 1
+        for t in range(20):        # overflow every iteration
+            dev.on_store(cycle * 64, cycle)
+            dev.on_store(cycle * 64 + 4096, cycle + 1)
+            cycle += 10
+            dev.on_eoi(0, cycle)
+        dev.on_sloop(1, 0, cycle)  # inner: triggers the steal
+        assert dev.n_bank_steals == 1
+        dev.on_eoi(1, cycle + 5)
+        dev.on_eloop(1, cycle + 6)
+        dev.on_eoi(0, cycle + 7)
+        dev.on_eloop(0, cycle + 8)
+        dev.finish()
+        # the inner loop got real statistics
+        assert dev.stats[1].profiled_threads == 1
+
+    def test_disable_loop_stops_banking(self):
+        dev = TestDevice()
+        dev.disable_loop(0)
+        self._run_entries(dev, 0, 3)
+        assert dev.stats[0].profiled_threads == 0

@@ -1,0 +1,152 @@
+"""Unit tests for the Equation 1 speedup estimator."""
+
+import pytest
+
+from repro.hydra import HydraConfig
+from repro.tracer import (
+    STLStats,
+    arc_limited_speedup,
+    base_speedup,
+    estimate_speedup,
+)
+
+
+def make_stats(cycles=100_000, threads=1000, entries=1,
+               arcs_prev=0, arc_len_prev=0,
+               arcs_earlier=0, arc_len_earlier=0,
+               overflow_threads=0, local_arcs=0):
+    st = STLStats(0)
+    st.cycles = cycles
+    st.threads = threads
+    st.entries = entries
+    st.profiled_threads = threads
+    st.profiled_entries = entries
+    st.arcs_prev = arcs_prev
+    st.arc_len_prev = arc_len_prev
+    st.arcs_earlier = arcs_earlier
+    st.arc_len_earlier = arc_len_earlier
+    st.overflow_threads = overflow_threads
+    st.local_arcs = local_arcs
+    return st
+
+
+class TestArcLimitedSpeedup:
+    def test_saturates_at_three_quarters_thread_size(self):
+        # the paper: maximal speedup when A >= (3/4) T with p = 4
+        assert arc_limited_speedup(100, 75, span=1, n_cpus=4) == 4.0
+        assert arc_limited_speedup(100, 76, span=1, n_cpus=4) == 4.0
+
+    def test_short_arc_serializes(self):
+        s = arc_limited_speedup(100, 1, span=1, n_cpus=4)
+        assert s == pytest.approx(100 / 99, rel=1e-6)
+
+    def test_monotonic_in_arc_length(self):
+        values = [arc_limited_speedup(100, a, span=1, n_cpus=4)
+                  for a in range(0, 101, 5)]
+        assert values == sorted(values)
+
+    def test_span_two_measures_across_two_threads(self):
+        # an earlier-thread arc of length T + x leaves x cycles of
+        # slack per hop, like a previous-thread arc of length T - ...;
+        # at equal *length* a span-2 arc is tighter (the same slack is
+        # spread over two thread hops)
+        assert arc_limited_speedup(100, 120, span=2, n_cpus=4) \
+            == pytest.approx(200 / 80)
+        tight = arc_limited_speedup(100, 90, span=2, n_cpus=4)
+        loose = arc_limited_speedup(100, 190, span=2, n_cpus=4)
+        assert loose > tight
+
+    def test_bounds(self):
+        for arc in (0, 10, 99, 100, 1000):
+            s = arc_limited_speedup(100, arc, span=1, n_cpus=4)
+            assert 1.0 <= s <= 4.0
+
+    def test_zero_thread_size(self):
+        assert arc_limited_speedup(0, 0, span=1, n_cpus=4) == 4.0
+
+
+class TestBaseSpeedup:
+    def test_no_arcs_gives_full_parallelism(self):
+        st = make_stats()
+        assert base_speedup(st, 4) == 4.0
+
+    def test_every_thread_short_arc_near_serial(self):
+        st = make_stats(arcs_prev=999, arc_len_prev=999 * 2)
+        assert base_speedup(st, 4) < 1.3
+
+    def test_mix_weighted_by_frequency(self):
+        half = make_stats(arcs_prev=500, arc_len_prev=500 * 2)
+        full = make_stats(arcs_prev=999, arc_len_prev=999 * 2)
+        assert base_speedup(half, 4) > base_speedup(full, 4)
+
+
+class TestEstimate:
+    def test_ideal_loop_near_max(self):
+        # big arc-free threads: only EOI overhead separates us from 4x
+        st = make_stats(cycles=1_000_000)
+        est = estimate_speedup(st)
+        assert est.speedup > 3.8
+        assert est.base_speedup == 4.0
+
+    def test_eoi_overhead_limits_small_threads(self):
+        # 100-cycle threads pay 5 EOI cycles each: ~3.3x ceiling
+        est = estimate_speedup(make_stats(cycles=100_000))
+        assert 3.0 < est.speedup < 3.6
+
+    def test_empty_stats_neutral(self):
+        st = STLStats(0)
+        est = estimate_speedup(st)
+        assert est.speedup == 1.0
+
+    def test_overflow_serializes(self):
+        clean = estimate_speedup(make_stats())
+        dirty = estimate_speedup(make_stats(overflow_threads=1000))
+        assert dirty.speedup < 1.1
+        assert clean.speedup > dirty.speedup
+
+    def test_partial_overflow_interpolates(self):
+        half = estimate_speedup(make_stats(overflow_threads=500))
+        none = estimate_speedup(make_stats())
+        full = estimate_speedup(make_stats(overflow_threads=1000))
+        assert full.speedup < half.speedup < none.speedup
+
+    def test_overheads_hurt_small_threads(self):
+        # same arc profile, tiny threads: per-thread EOI overhead bites
+        big = estimate_speedup(make_stats(cycles=1_000_000))
+        small = estimate_speedup(make_stats(cycles=10_000))
+        assert big.speedup > small.speedup
+
+    def test_entry_overhead_hurts_many_entries(self):
+        few = estimate_speedup(make_stats(entries=1))
+        many = estimate_speedup(make_stats(entries=500))
+        assert few.speedup > many.speedup
+
+    def test_local_arcs_add_communication(self):
+        no_comm = estimate_speedup(make_stats(
+            arcs_prev=999, arc_len_prev=999 * 90))
+        comm = estimate_speedup(make_stats(
+            arcs_prev=999, arc_len_prev=999 * 90, local_arcs=999))
+        assert no_comm.speedup > comm.speedup
+
+    def test_speedup_capped_at_cpu_count(self):
+        est = estimate_speedup(make_stats(cycles=10_000_000))
+        assert est.speedup <= 4.0
+        est8 = estimate_speedup(make_stats(cycles=10_000_000),
+                                HydraConfig(n_cpus=8))
+        assert est8.speedup <= 8.0
+
+    def test_few_iterations_per_entry_caps_speedup(self):
+        st = make_stats(threads=2, entries=1, cycles=100_000)
+        est = estimate_speedup(st)
+        assert est.speedup <= 2.0
+
+    def test_unprofiled_loop_neutral(self):
+        st = make_stats()
+        st.profiled_threads = 0
+        assert estimate_speedup(st).speedup == 1.0
+
+    def test_estimate_exposes_terms(self):
+        est = estimate_speedup(make_stats())
+        assert est.orig_time == 100_000
+        assert est.spec_time > 0
+        assert est.overflow_freq == 0.0

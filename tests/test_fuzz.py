@@ -1,0 +1,98 @@
+"""Differential property tests over randomly generated programs.
+
+The generator emits guaranteed-terminating minijava; every property
+here is a whole-stack invariant: annotation transparency, optimizer
+correctness, tracer event balance, and TLS timing bounds.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import find_candidates
+from repro.fuzz import generate_program
+from repro.jit import AnnotationLevel, annotate_program, optimize_program
+from repro.jrpm import Jrpm
+from repro.lang import compile_source
+from repro.runtime import run_program
+from repro.tracer import TestDevice
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGenerator:
+    @given(seeds)
+    @SLOW
+    def test_generated_programs_compile_and_terminate(self, seed):
+        source = generate_program(seed)
+        program = compile_source(source)
+        result = run_program(program, max_instructions=2_000_000)
+        assert isinstance(result.return_value, int)
+
+    @given(seeds)
+    @SLOW
+    def test_generation_is_deterministic(self, seed):
+        assert generate_program(seed) == generate_program(seed)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_different_seeds_differ(self, seed):
+        assert generate_program(seed) != generate_program(seed + 1) \
+            or generate_program(seed + 1) == generate_program(seed + 2)
+
+
+class TestWholeStackInvariants:
+    @given(seeds)
+    @SLOW
+    def test_annotation_is_semantically_transparent(self, seed):
+        program = compile_source(generate_program(seed))
+        table = find_candidates(program)
+        base = run_program(program)
+        for level in (AnnotationLevel.BASE, AnnotationLevel.OPTIMIZED):
+            ann = annotate_program(program, table, level)
+            res = run_program(ann.program)
+            assert res.return_value == base.return_value
+            # annotations only ever add cycles
+            assert res.cycles >= base.cycles
+
+    @given(seeds)
+    @SLOW
+    def test_optimizer_preserves_semantics(self, seed):
+        program = compile_source(generate_program(seed))
+        base = run_program(program)
+        clone = program.copy()
+        optimize_program(clone)
+        opt = run_program(clone)
+        assert opt.return_value == base.return_value
+        assert opt.instructions <= base.instructions
+
+    @given(seeds)
+    @SLOW
+    def test_tracer_event_balance(self, seed):
+        program = compile_source(generate_program(seed))
+        table = find_candidates(program)
+        ann = annotate_program(program, table)
+        device = TestDevice()
+        for lid, cand in ann.annotated_loops.items():
+            device.register_loop_locals(lid, cand.tracked_locals)
+        run_program(ann.program, listener=device)
+        device.finish()   # raises if any activation is unbalanced
+        for stats in device.stats.values():
+            assert stats.threads >= stats.entries >= 1
+            assert stats.arcs_prev <= max(
+                0, stats.profiled_threads - stats.profiled_entries)
+
+    @given(seeds)
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_full_pipeline_bounds(self, seed):
+        source = generate_program(seed)
+        rep = Jrpm(source=source, name="fuzz-%d" % seed).run()
+        assert 0.0 <= rep.coverage <= 1.0
+        assert rep.predicted_speedup >= 1.0
+        # the TLS replay of a selection can disappoint but not explode
+        assert 0.1 < rep.actual_speedup <= 4.5
+        assert rep.sequential.return_value \
+            == rep.profiled.return_value

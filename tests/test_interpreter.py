@@ -1,0 +1,176 @@
+"""Unit tests for the interpreter, heap, values, and cost model."""
+
+import pytest
+
+from repro.bytecode import BinOp, Op, UnOp
+from repro.errors import ExecutionError, HeapError
+from repro.lang import compile_source
+from repro.runtime import (
+    CostModel,
+    Heap,
+    LINE_SIZE,
+    RecordingListener,
+    WORD_SIZE,
+    line_of,
+    run_program,
+)
+from repro.runtime.values import apply_binop, apply_unop, java_div, java_mod
+
+
+class TestValues:
+    def test_java_div_signs(self):
+        assert java_div(7, 2) == 3
+        assert java_div(-7, 2) == -3
+        assert java_div(7, -2) == -3
+        assert java_div(-7, -2) == 3
+
+    def test_java_mod_signs(self):
+        assert java_mod(7, 3) == 1
+        assert java_mod(-7, 3) == -1
+        assert java_mod(7, -3) == 1
+        assert java_mod(-7, -3) == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            java_div(1, 0)
+        with pytest.raises(ExecutionError):
+            java_mod(1, 0)
+
+    def test_float_division(self):
+        assert java_div(7.0, 2) == 3.5
+
+    def test_bitops_require_ints(self):
+        with pytest.raises(ExecutionError):
+            apply_binop(BinOp.AND, 1.5, 2)
+        with pytest.raises(ExecutionError):
+            apply_binop(BinOp.SHL, 1, 2.0)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_binop(BinOp.SHL, 1, -1)
+
+    def test_unops(self):
+        assert apply_unop(UnOp.NEG, 5) == -5
+        assert apply_unop(UnOp.NOT, 0) == 1
+        assert apply_unop(UnOp.NOT, 9) == 0
+        assert apply_unop(UnOp.INV, 0) == -1
+        assert apply_unop(UnOp.I2F, 3) == 3.0
+        assert apply_unop(UnOp.F2I, 3.9) == 3
+
+
+class TestHeap:
+    def test_allocation_and_access(self):
+        heap = Heap()
+        h = heap.allocate(4)
+        heap.store(h, 0, 42)
+        assert heap.load(h, 0) == 42
+        assert heap.load(h, 1) == 0
+        assert heap.length(h) == 4
+
+    def test_bounds_checking(self):
+        heap = Heap()
+        h = heap.allocate(4)
+        with pytest.raises(HeapError):
+            heap.load(h, 4)
+        with pytest.raises(HeapError):
+            heap.store(h, -1, 0)
+
+    def test_invalid_handle(self):
+        heap = Heap()
+        with pytest.raises(HeapError):
+            heap.load(12345, 0)
+
+    def test_negative_length(self):
+        with pytest.raises(HeapError):
+            Heap().allocate(-1)
+
+    def test_float_length_rejected(self):
+        with pytest.raises(HeapError):
+            Heap().allocate(2.5)
+
+    def test_addresses_line_aligned_and_disjoint(self):
+        heap = Heap()
+        a = heap.allocate(10)
+        b = heap.allocate(10)
+        assert a % LINE_SIZE == 0
+        assert b % LINE_SIZE == 0
+        # no overlap: last byte of a is before b
+        assert heap.address(a, 9) + WORD_SIZE <= b
+
+    def test_element_addresses(self):
+        heap = Heap()
+        a = heap.allocate(8)
+        assert heap.address(a, 3) == a + 3 * WORD_SIZE
+        assert line_of(a) == a // LINE_SIZE
+
+    def test_zero_length_array_allowed(self):
+        heap = Heap()
+        a = heap.allocate(0)
+        assert heap.length(a) == 0
+
+
+class TestInterpreter:
+    def test_deterministic_cycles(self):
+        src = "func main() { var s = 0; for (var i = 0; i < 100; " \
+              "i = i + 1) { s = s + i; } return s; }"
+        p1 = compile_source(src)
+        r1 = run_program(p1)
+        r2 = run_program(compile_source(src))
+        assert r1.cycles == r2.cycles
+        assert r1.instructions == r2.instructions
+        assert r1.return_value == r2.return_value == 4950
+
+    def test_instruction_budget(self):
+        src = "func main() { while (1) { } }"
+        with pytest.raises(ExecutionError) as exc:
+            run_program(compile_source(src), max_instructions=1000)
+        assert "budget" in str(exc.value)
+
+    def test_runtime_error_carries_location(self):
+        src = "func main() { var a = array(2); return a[5]; }"
+        with pytest.raises(ExecutionError) as exc:
+            run_program(compile_source(src))
+        assert "main" in str(exc.value)
+
+    def test_division_by_zero_at_runtime(self):
+        src = "func main() { var x = 0; return 1 / x; }"
+        with pytest.raises(ExecutionError):
+            run_program(compile_source(src))
+
+    def test_print_collects(self):
+        src = "func main() { print 1; print 2 + 3; return 0; }"
+        assert run_program(compile_source(src)).printed == [1, 5]
+
+    def test_deep_recursion_does_not_blow_host_stack(self):
+        src = """
+        func down(n) { if (n == 0) { return 0; } return down(n - 1); }
+        func main() { return down(5000); }
+        """
+        assert run_program(compile_source(src)).return_value == 0
+
+    def test_cost_model_scales_cycles(self):
+        src = "func main() { var a = array(8); var s = 0; " \
+              "for (var i = 0; i < 8; i = i + 1) { s = s + a[i]; } " \
+              "return s; }"
+        program = compile_source(src)
+        cheap = run_program(program, cost_model=CostModel())
+        pricey = run_program(
+            program, cost_model=CostModel(op_costs={Op.ALOAD: 50}))
+        assert pricey.cycles > cheap.cycles
+        assert pricey.return_value == cheap.return_value
+
+    def test_listener_sees_heap_events_in_order(self):
+        src = "func main() { var a = array(2); a[0] = 1; a[1] = 2; " \
+              "return a[0] + a[1]; }"
+        rec = RecordingListener()
+        run_program(compile_source(src), listener=rec)
+        kinds = [e.kind for e in rec.mem]
+        assert kinds == ["st", "st", "ld", "ld"]
+        cycles = [e.cycle for e in rec.mem]
+        assert cycles == sorted(cycles)
+
+    def test_heap_state_in_result(self):
+        src = "func main() { var a = array(3); a[2] = 9; return 0; }"
+        res = run_program(compile_source(src))
+        snapshot = res.heap.snapshot()
+        assert list(snapshot.values()) == [[0, 0, 9]]

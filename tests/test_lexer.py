@@ -1,0 +1,114 @@
+"""Unit tests for the minijava lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokKind.EOF
+
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokKind.INT
+        assert tok.text == "42"
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokKind.FLOAT
+        assert tok.text == "3.25"
+
+    def test_float_with_exponent(self):
+        assert tokenize("1.5e3")[0].kind is TokKind.FLOAT
+        assert tokenize("2e10")[0].kind is TokKind.FLOAT
+        assert tokenize("2e-4")[0].kind is TokKind.FLOAT
+
+    def test_integer_then_method_like_dot_is_error(self):
+        # "1.x" — digit, dot, letter: dot isn't part of the number, and
+        # '.' is not a legal character in minijava
+        with pytest.raises(LexError):
+            tokenize("1.x")
+
+    def test_identifier(self):
+        tok = tokenize("foo_bar123")[0]
+        assert tok.kind is TokKind.IDENT
+        assert tok.text == "foo_bar123"
+
+    def test_keywords_recognized(self):
+        for kw in ("func", "var", "if", "else", "while", "for",
+                   "return", "break", "continue", "print"):
+            assert tokenize(kw)[0].kind is TokKind.KEYWORD
+
+    def test_ident_prefixed_by_keyword_is_ident(self):
+        assert tokenize("iffy")[0].kind is TokKind.IDENT
+        assert tokenize("variable")[0].kind is TokKind.IDENT
+
+
+class TestOperators:
+    def test_multi_char_operators_greedy(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a == b") == ["a", "==", "b"]
+        assert texts("a && b") == ["a", "&&", "b"]
+        assert texts("a || b") == ["a", "||", "b"]
+        assert texts("a != b") == ["a", "!=", "b"]
+
+    def test_adjacent_single_operators(self):
+        # "<" then "=" would be "<=", but "=<" stays two tokens
+        assert texts("a =< b") == ["a", "=", "<", "b"]
+
+    def test_punctuation(self):
+        assert texts("( ) [ ] { } , ;") == [
+            "(", ")", "[", "]", "{", "}", ",", ";"]
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b")
+        assert exc.value.line == 1
+        assert exc.value.column == 3
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_comment_does_not_break_line_numbers(self):
+        toks = tokenize("// one\n// two\nx")
+        assert toks[0].line == 3
+
+
+class TestRealSnippets:
+    def test_statement_token_stream(self):
+        stream = texts("var x = a[i] + 1;")
+        assert stream == ["var", "x", "=", "a", "[", "i", "]", "+", "1",
+                          ";"]
+
+    def test_describe_is_readable(self):
+        tok = tokenize("foo")[0]
+        assert "foo" in tok.describe()
+        assert tokenize("")[0].describe() == "end of input"

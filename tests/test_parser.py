@@ -1,0 +1,170 @@
+"""Unit tests for the minijava parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    """Parse an expression by wrapping it in a function."""
+    module = parse("func main() { return %s; }" % text)
+    stmt = module.functions[0].body[0]
+    assert isinstance(stmt, ast.Return)
+    return stmt.value
+
+
+def parse_stmts(text):
+    module = parse("func main() { %s }" % text)
+    return module.functions[0].body
+
+
+class TestDeclarations:
+    def test_empty_function(self):
+        module = parse("func main() { }")
+        assert len(module.functions) == 1
+        assert module.functions[0].name == "main"
+        assert module.functions[0].params == ()
+
+    def test_parameters(self):
+        module = parse("func f(a, b, c) { }")
+        assert module.functions[0].params == ("a", "b", "c")
+
+    def test_multiple_functions(self):
+        module = parse("func a() { } func b() { }")
+        assert [f.name for f in module.functions] == ["a", "b"]
+
+    def test_missing_brace_is_error(self):
+        with pytest.raises(ParseError):
+            parse("func main() {")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("vor x = 3;")
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        expr = parse_expr("a << 2 < b")
+        assert expr.op == "<"
+        assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "<<"
+
+    def test_equality_binds_tighter_than_bitand(self):
+        # C-style: a & b == c  parses as  a & (b == c)
+        expr = parse_expr("a & b == c")
+        assert expr.op == "&"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "=="
+
+    def test_logical_or_looser_than_and(self):
+        expr = parse_expr("a && b || c")
+        assert isinstance(expr, ast.Logical) and expr.op == "||"
+        assert isinstance(expr.lhs, ast.Logical) and expr.lhs.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, ast.Binary)
+        assert isinstance(expr.lhs.lhs, ast.Name)
+        assert expr.lhs.lhs.ident == "a"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "+"
+
+    def test_unary_chains(self):
+        expr = parse_expr("--x")
+        assert isinstance(expr, ast.Unary)
+        assert isinstance(expr.operand, ast.Unary)
+
+
+class TestPostfix:
+    def test_indexing(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_chained_indexing(self):
+        expr = parse_expr("a[0][1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x, g())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.Call)
+
+
+class TestStatements:
+    def test_var_decl(self):
+        (stmt,) = parse_stmts("var x = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_assignment(self):
+        (stmt,) = parse_stmts("x = 3;")
+        assert isinstance(stmt, ast.Assign)
+
+    def test_indexed_store(self):
+        (stmt,) = parse_stmts("a[i] = 3;")
+        assert isinstance(stmt, ast.StoreIndex)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_stmts("1 + 2 = 3;")
+
+    def test_expression_statement_must_be_call(self):
+        with pytest.raises(ParseError):
+            parse_stmts("x + 1;")
+        (stmt,) = parse_stmts("f();")
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_stmts(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse[0], ast.If)
+        assert stmt.orelse[0].orelse  # final else
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (x < 3) { x = x + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts(
+            "for (var i = 0; i < 3; i = i + 1) { f(); }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_without_init_and_step(self):
+        (stmt,) = parse_stmts("for (; x < 3;) { x = x + 1; }")
+        assert stmt.init is None
+        assert stmt.step is None
+
+    def test_break_continue_return(self):
+        stmts = parse_stmts(
+            "while (1) { break; } while (1) { continue; } return;")
+        assert isinstance(stmts[0].body[0], ast.Break)
+        assert isinstance(stmts[1].body[0], ast.Continue)
+        assert isinstance(stmts[2], ast.Return)
+        assert stmts[2].value is None
+
+    def test_print(self):
+        (stmt,) = parse_stmts("print x + 1;")
+        assert isinstance(stmt, ast.Print)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmts("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("func main() { while (1) { ")

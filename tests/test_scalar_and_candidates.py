@@ -1,0 +1,161 @@
+"""Unit tests for scalar dependence analysis and STL candidates."""
+
+from repro.cfg import DepClass, find_candidates
+from repro.lang import compile_source
+
+
+def classes_of(source, loop_index=0):
+    """Classes of the loop_index-th candidate of main(), by slot name."""
+    program = compile_source(source)
+    table = find_candidates(program)
+    cand = table.by_function["main"].candidates[loop_index]
+    fn = program.main
+    return {fn.slot_name(s): c for s, c in cand.scalar.classes.items()}, \
+        cand
+
+
+class TestClassification:
+    def test_simple_inductor(self):
+        classes, _ = classes_of(
+            "func main() { var s = 0; "
+            "for (var i = 0; i < 9; i = i + 1) { s = s + i; } "
+            "return s; }")
+        assert classes["i"] is DepClass.INDUCTOR
+
+    def test_sum_reduction(self):
+        classes, _ = classes_of(
+            "func main() { var s = 0; var a = array(4); "
+            "for (var i = 0; i < 4; i = i + 1) { s = s + a[i]; } "
+            "return s; }")
+        assert classes["s"] is DepClass.REDUCTION
+
+    def test_downward_inductor(self):
+        classes, _ = classes_of(
+            "func main() { var s = 0; "
+            "for (var i = 9; i > 0; i = i - 1) { s = s + i; } "
+            "return s; }")
+        assert classes["i"] is DepClass.INDUCTOR
+
+    def test_conditional_increment_is_carried(self):
+        classes, _ = classes_of(
+            "func main() { var n = 0; "
+            "for (var i = 0; i < 9; i = i + 1) { "
+            "  if (i % 2) { n = n + 2; } else { n = n + 1; } } "
+            "return n; }")
+        # two defs of n -> not a single-update inductor; both are
+        # reduction-shaped adds, so n is a reduction
+        assert classes["n"] is DepClass.REDUCTION
+
+    def test_reduction_read_elsewhere_is_carried(self):
+        classes, _ = classes_of(
+            "func main() { var s = 0; var a = array(16); "
+            "for (var i = 0; i < 9; i = i + 1) { "
+            "  s = s + i; a[s % 16] = i; } "
+            "return s; }")
+        assert classes["s"] is DepClass.CARRIED
+
+    def test_variable_step_is_carried(self):
+        classes, _ = classes_of(
+            "func main() { var x = 1; "
+            "for (var i = 0; i < 9; i = i + 1) { x = x + i; } "
+            "return x; }")
+        # x += i is reduction-shaped (sum of loop-varying values)
+        assert classes["x"] is DepClass.REDUCTION
+
+    def test_pointer_chase_is_carried(self):
+        classes, _ = classes_of(
+            "func main() { var a = array(16); var p = 0; "
+            "while (p < 10) { p = a[p] + p + 1; } return p; }")
+        assert classes["p"] is DepClass.CARRIED
+
+    def test_inductor_in_nested_loop_is_carried_for_outer(self):
+        # in_p-style: incremented inside the inner loop, so for the
+        # outer loop it moves a variable amount per iteration
+        src = """
+        func main() {
+          var a = array(64);
+          var p = 0;
+          for (var i = 0; i < 8; i = i + 1) {
+            for (var j = 0; j < 4; j = j + 1) {
+              a[p % 64] = i;
+              p = p + 1;
+            }
+          }
+          return p;
+        }
+        """
+        classes_outer, cand = classes_of(src, loop_index=0)
+        # find the outer loop (depth 1)
+        program = compile_source(src)
+        table = find_candidates(program)
+        cands = table.by_function["main"].candidates
+        outer = [c for c in cands if c.depth == 1][0]
+        inner = [c for c in cands if c.depth == 2][0]
+        fn = program.main
+        oc = {fn.slot_name(s): c for s, c in outer.scalar.classes.items()}
+        ic = {fn.slot_name(s): c for s, c in inner.scalar.classes.items()}
+        assert oc["p"] is DepClass.CARRIED
+        assert ic["p"] is DepClass.INDUCTOR
+
+
+class TestCandidates:
+    def test_serializing_pointer_chase_excluded(self):
+        program = compile_source(
+            "func main() { var a = array(16); var p = 0; "
+            "while (p < 10) { p = a[p] + 1; } return p; }")
+        table = find_candidates(program)
+        cands = table.by_function["main"].candidates
+        assert len(cands) == 1
+        assert cands[0].excluded
+
+    def test_normal_loops_kept(self, nest_program):
+        table = find_candidates(nest_program)
+        assert all(not c.excluded for c in table.candidates())
+        assert table.loop_count == 3
+
+    def test_loop_ids_globally_unique_and_dense(self, nest_program):
+        table = find_candidates(nest_program)
+        ids = sorted(table.by_id)
+        assert ids == list(range(len(ids)))
+
+    def test_nesting_links(self, nest_program):
+        table = find_candidates(nest_program)
+        cands = table.candidates()
+        children = [c for c in cands if c.parent_id >= 0]
+        assert len(children) == 1
+        parent = table.by_id[children[0].parent_id]
+        assert children[0].loop_id in parent.child_ids
+
+    def test_tracked_locals_exclude_inductors(self, nest_program):
+        table = find_candidates(nest_program)
+        for cand in table.candidates():
+            tracked = set(cand.tracked_locals)
+            assert not (tracked & set(cand.scalar.inductors))
+            assert not (tracked & set(cand.scalar.reductions))
+
+    def test_entry_function_analyzed_first(self):
+        program = compile_source("""
+        func helper() {
+          for (var i = 0; i < 3; i = i + 1) { }
+        }
+        func main() {
+          for (var j = 0; j < 3; j = j + 1) { helper(); }
+        }
+        """)
+        table = find_candidates(program)
+        # loop ids: main's loop gets id 0 (entry first), helper's next
+        assert table.by_id[0].function == "main"
+        assert table.by_id[1].function == "helper"
+
+    def test_max_depth(self):
+        program = compile_source("""
+        func main() {
+          for (var i = 0; i < 2; i = i + 1) {
+            for (var j = 0; j < 2; j = j + 1) {
+              for (var k = 0; k < 2; k = k + 1) { }
+            }
+          }
+        }
+        """)
+        table = find_candidates(program)
+        assert table.max_loop_depth == 3

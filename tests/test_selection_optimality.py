@@ -1,0 +1,131 @@
+"""Equation 2's tree DP versus exhaustive enumeration.
+
+On randomly generated small loop nests (random statistics, proper
+containment), the selector's chosen antichain must achieve the same
+predicted total time as brute force over *all* antichains.
+"""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hydra import DEFAULT_HYDRA
+from repro.tracer import TestDevice, estimate_speedup, select_stls
+
+
+def build_device(nodes):
+    """nodes: list of (loop_id, parent_id, cycles, threads, arc_pairs)
+    with child cycles <= parent cycles."""
+    dev = TestDevice()
+    for loop_id, parent, cycles, threads, arcs in nodes:
+        stt = dev.stats_for(loop_id)
+        stt.cycles = cycles
+        stt.threads = threads
+        stt.entries = 1
+        stt.profiled_threads = threads
+        stt.profiled_entries = 1
+        stt.arcs_prev = arcs
+        # short arcs (serializing) so speedups vary meaningfully
+        stt.arc_len_prev = arcs * 3
+        dev.dynamic_parents.setdefault(loop_id, {})[parent] = 1
+    return dev
+
+
+def brute_force_best(nodes, min_speedup=1.05):
+    """Minimal predicted time over every antichain of the nest."""
+    dev = build_device(nodes)
+    ids = [n[0] for n in nodes]
+    parents = {n[0]: n[1] for n in nodes}
+
+    def ancestors(x):
+        out = set()
+        while parents.get(x, -1) >= 0:
+            x = parents[x]
+            out.add(x)
+        return out
+
+    total = sum(n[2] for n in nodes if n[1] == -1)
+
+    def subsets(iterable):
+        s = list(iterable)
+        return chain.from_iterable(
+            combinations(s, r) for r in range(len(s) + 1))
+
+    best = float(total)
+    for pick in subsets(ids):
+        # antichain check
+        ok = all(not (set(pick) & ancestors(x)) for x in pick)
+        if not ok:
+            continue
+        t = float(total)
+        feasible = True
+        for x in pick:
+            est = estimate_speedup(dev.stats[x], DEFAULT_HYDRA)
+            if est.speedup < min_speedup:
+                feasible = False
+                break
+            t -= dev.stats[x].cycles
+            t += dev.stats[x].cycles / est.speedup
+        if feasible and t < best:
+            best = t
+    return best, total
+
+
+@st.composite
+def random_nests(draw):
+    """A forest of <= 6 loops with containment-consistent cycles."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    nodes = []
+    # remaining cycle budget per parent: in a real trace the children
+    # of a loop together run inside it, so sibling cycles must fit
+    remaining = {-1: 4_000_000}
+    for loop_id in range(n):
+        parent = -1
+        if loop_id > 0 and draw(st.booleans()):
+            parent = draw(st.integers(min_value=0,
+                                      max_value=loop_id - 1))
+        budget = remaining.get(parent, 0)
+        if budget < 10_000:
+            parent = -1
+            budget = remaining[-1]
+        cycles = draw(st.integers(min_value=10_000,
+                                  max_value=max(10_001, budget)))
+        cycles = min(cycles, budget)
+        remaining[parent] = budget - cycles
+        remaining[loop_id] = cycles
+        threads = draw(st.sampled_from([4, 16, 64, 256]))
+        arcs = draw(st.integers(min_value=0, max_value=threads - 1))
+        nodes.append((loop_id, parent, cycles, threads, arcs))
+    return nodes
+
+
+@given(random_nests())
+@settings(max_examples=80, deadline=None)
+def test_dp_matches_exhaustive_enumeration(nodes):
+    dev = build_device(nodes)
+    total = sum(n[2] for n in nodes if n[1] == -1)
+    sel = select_stls(dev, total_cycles=total, min_cycles=1)
+
+    dp_time = sel.predicted_cycles
+    best_time, _ = brute_force_best(nodes)
+    # the DP must achieve the optimum (small float tolerance)
+    assert dp_time <= best_time * (1 + 1e-9) + 1e-6, (
+        dp_time, best_time, nodes)
+    # and never beat it (it only picks valid antichains)
+    assert dp_time >= best_time * (1 - 1e-9) - 1e-6
+
+
+@given(random_nests())
+@settings(max_examples=60, deadline=None)
+def test_selection_always_an_antichain(nodes):
+    dev = build_device(nodes)
+    total = sum(n[2] for n in nodes if n[1] == -1)
+    sel = select_stls(dev, total_cycles=total, min_cycles=1)
+    parents = {n[0]: n[1] for n in nodes}
+    chosen = set(sel.selected_ids())
+    for x in chosen:
+        walk = parents.get(x, -1)
+        while walk >= 0:
+            assert walk not in chosen, (x, walk, nodes)
+            walk = parents.get(walk, -1)

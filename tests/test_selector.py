@@ -1,0 +1,117 @@
+"""Unit tests for Equation 2 STL selection."""
+
+from repro.hydra import HydraConfig
+from repro.tracer import TestDevice, select_stls
+from repro.tracer.stats import STLStats
+
+
+def loop_stats(device, loop_id, cycles, threads, entries=1,
+               arcs_prev=0, arc_len_prev=0, parent=-1):
+    st = device.stats_for(loop_id)
+    st.cycles = cycles
+    st.threads = threads
+    st.entries = entries
+    st.profiled_threads = threads
+    st.profiled_entries = entries
+    st.arcs_prev = arcs_prev
+    st.arc_len_prev = arc_len_prev
+    device.dynamic_parents.setdefault(loop_id, {})
+    device.dynamic_parents[loop_id][parent] = 1
+    return st
+
+
+class TestNestChoice:
+    def test_parallel_outer_beats_serial_inner(self):
+        dev = TestDevice()
+        # outer: arc-free; inner: fully serialized by short arcs
+        loop_stats(dev, 0, cycles=100_000, threads=100)
+        loop_stats(dev, 1, cycles=90_000, threads=1000, arcs_prev=999,
+                   arc_len_prev=999 * 5, parent=0)
+        sel = select_stls(dev, total_cycles=120_000)
+        assert sel.selected_ids() == [0]
+
+    def test_serial_outer_delegates_to_parallel_inner(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=100_000, threads=100, arcs_prev=99,
+                   arc_len_prev=99 * 10)
+        loop_stats(dev, 1, cycles=90_000, threads=1000, parent=0)
+        sel = select_stls(dev, total_cycles=120_000)
+        assert sel.selected_ids() == [1]
+
+    def test_sibling_loops_both_selected(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=50_000, threads=100)
+        loop_stats(dev, 1, cycles=60_000, threads=100)
+        sel = select_stls(dev, total_cycles=120_000)
+        assert sorted(sel.selected_ids()) == [0, 1]
+
+    def test_slow_loops_not_selected(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=100_000, threads=1000, arcs_prev=999,
+                   arc_len_prev=999 * 3)
+        sel = select_stls(dev, total_cycles=120_000)
+        assert sel.selected_ids() == []
+        assert sel.coverage == 0.0
+
+    def test_three_level_nest_picks_middle(self):
+        dev = TestDevice()
+        # outer serial, middle parallel, inner tiny threads (overheads)
+        loop_stats(dev, 0, cycles=200_000, threads=10, arcs_prev=9,
+                   arc_len_prev=9 * 100)
+        loop_stats(dev, 1, cycles=190_000, threads=500, parent=0)
+        loop_stats(dev, 2, cycles=180_000, threads=100_000, parent=1)
+        sel = select_stls(dev, total_cycles=220_000)
+        assert sel.selected_ids() == [1]
+
+
+class TestProgramAccounting:
+    def test_coverage_and_serial_remainder(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=60_000, threads=100)
+        sel = select_stls(dev, total_cycles=100_000)
+        assert sel.covered_cycles == 60_000
+        assert sel.serial_cycles == 40_000
+        assert abs(sel.coverage - 0.6) < 1e-9
+
+    def test_predicted_time_includes_serial(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=60_000, threads=100)
+        sel = select_stls(dev, total_cycles=100_000)
+        # serial 40k + parallel 60k / ~3.9
+        assert 50_000 < sel.predicted_cycles < 70_000
+        assert 1.0 < sel.predicted_speedup < 2.0
+
+    def test_coverage_never_exceeds_one(self):
+        # helper loop dynamically nested under two parents must not be
+        # double counted (the antichain rule)
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=50_000, threads=100)
+        loop_stats(dev, 1, cycles=50_000, threads=100)
+        helper = loop_stats(dev, 2, cycles=90_000, threads=1000)
+        dev.dynamic_parents[2] = {0: 5, 1: 5}
+        sel = select_stls(dev, total_cycles=110_000)
+        assert sel.coverage <= 1.0
+        chosen = set(sel.selected_ids())
+        assert chosen == {2} or chosen == {0, 1}
+
+    def test_min_cycles_filter(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=50, threads=10)
+        sel = select_stls(dev, total_cycles=100_000, min_cycles=200)
+        assert sel.selected_ids() == []
+
+    def test_significant_filter(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=90_000, threads=100)
+        loop_stats(dev, 1, cycles=300, threads=10)
+        sel = select_stls(dev, total_cycles=100_000)
+        significant = sel.significant(min_coverage=0.005)
+        assert [s.loop_id for s in significant] == [0]
+
+    def test_min_speedup_threshold_respected(self):
+        dev = TestDevice()
+        loop_stats(dev, 0, cycles=100_000, threads=1000, arcs_prev=999,
+                   arc_len_prev=999 * 55)
+        lax = select_stls(dev, total_cycles=120_000, min_speedup=1.0)
+        strict = select_stls(dev, total_cycles=120_000, min_speedup=3.9)
+        assert len(lax.selected) >= len(strict.selected)

@@ -1,0 +1,127 @@
+"""Unit tests for minijava semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def fails(source, fragment):
+    with pytest.raises(SemanticError) as exc:
+        check(source)
+    assert fragment in str(exc.value)
+
+
+class TestScopes:
+    def test_use_before_declaration(self):
+        fails("func main() { x = 1; }", "undeclared")
+
+    def test_undeclared_read(self):
+        fails("func main() { var y = x; }", "undeclared")
+
+    def test_duplicate_declaration_same_block(self):
+        fails("func main() { var x = 1; var x = 2; }", "duplicate")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        check("func main() { var x = 1; if (x) { var x = 2; } }")
+
+    def test_block_scope_does_not_leak(self):
+        fails("func main() { if (1) { var x = 1; } x = 2; }",
+              "undeclared")
+
+    def test_duplicate_parameter(self):
+        fails("func f(a, a) { }", "duplicate parameter")
+
+    def test_for_init_scoped_to_loop(self):
+        fails("func main() { for (var i = 0; i < 3; i = i + 1) { } "
+              "i = 4; }", "undeclared")
+
+
+class TestCategories:
+    def test_array_plus_number_rejected(self):
+        fails("func main() { var a = array(4); var x = a + 1; }",
+              "numeric")
+
+    def test_indexing_non_array(self):
+        fails("func main() { var x = 1; var y = x[0]; }", "non-array")
+
+    def test_numeric_var_cannot_become_array(self):
+        fails("func main() { var x = 1; x = array(4); }", "array")
+
+    def test_len_requires_array(self):
+        fails("func main() { var x = 1; var n = len(x); }", "array")
+
+    def test_len_of_array_ok(self):
+        check("func main() { var a = array(4); var n = len(a); }")
+
+    def test_condition_must_be_numeric(self):
+        fails("func main() { var a = array(4); if (a) { } }", "numeric")
+
+    def test_array_element_assignment_ok(self):
+        check("func main() { var a = array(4); a[0] = 1; }")
+
+    def test_param_relaxes_to_array_on_indexed_use(self):
+        check("func f(a) { a[0] = 1; } func main() { }")
+
+    def test_param_used_with_len(self):
+        check("func f(a) { return len(a); } func main() { }")
+
+
+class TestCalls:
+    def test_unknown_function(self):
+        fails("func main() { f(); }", "unknown function")
+
+    def test_wrong_arity(self):
+        fails("func f(a) { } func main() { f(1, 2); }", "argument")
+
+    def test_intrinsic_arity(self):
+        fails("func main() { var x = sqrt(1, 2); }", "argument")
+        fails("func main() { var x = min(1); }", "argument")
+
+    def test_builtin_shadowing_rejected(self):
+        fails("func sqrt(x) { return x; }", "shadows a builtin")
+
+    def test_void_call_as_value(self):
+        fails("func f() { } func main() { var x = f(); }", "void")
+
+    def test_void_call_as_statement_ok(self):
+        check("func f() { } func main() { f(); }")
+
+    def test_void_call_as_argument(self):
+        fails("func f() { } func g(x) { } func main() { g(f()); }",
+              "void")
+
+    def test_duplicate_function(self):
+        fails("func f() { } func f() { }", "duplicate function")
+
+    def test_forward_reference_ok(self):
+        check("func main() { helper(); } func helper() { }")
+
+
+class TestReturnsAndLoops:
+    def test_inconsistent_returns(self):
+        fails("func f(x) { if (x) { return 1; } return; } func main(){}",
+              "inconsistent returns")
+
+    def test_consistent_value_returns_ok(self):
+        sigs = check(
+            "func f(x) { if (x) { return 1; } return 2; } func main(){}")
+        assert sigs["f"].returns_value
+
+    def test_void_function_signature(self):
+        sigs = check("func f() { return; } func main() { }")
+        assert not sigs["f"].returns_value
+
+    def test_break_outside_loop(self):
+        fails("func main() { break; }", "outside a loop")
+
+    def test_continue_outside_loop(self):
+        fails("func main() { continue; }", "outside a loop")
+
+    def test_break_in_if_inside_loop_ok(self):
+        check("func main() { while (1) { if (1) { break; } } }")

@@ -1,0 +1,73 @@
+"""Tests over the 26 paper workloads (Table 6 rows)."""
+
+import pytest
+
+from repro.runtime import run_program
+from repro.workloads import (
+    FLOATING,
+    INTEGER,
+    MULTIMEDIA,
+    all_workloads,
+    by_category,
+    get_workload,
+    workload_names,
+)
+
+EXPECTED_NAMES = [
+    "Assignment", "BitOps", "compress", "db", "deltaBlue", "EmFloatPnt",
+    "Huffman", "IDEA", "jess", "jLex", "MipsSimulator", "monteCarlo",
+    "NumHeapSort", "raytrace",
+    "euler", "fft", "FourierTest", "LuFactor", "moldyn", "NeuralNet",
+    "shallow",
+    "decJpeg", "encJpeg", "h263dec", "mpegVideo", "mp3",
+]
+
+
+class TestRegistry:
+    def test_all_26_in_table6_order(self):
+        assert workload_names() == EXPECTED_NAMES
+
+    def test_categories_match_table6(self):
+        assert len(by_category(INTEGER)) == 14
+        assert len(by_category(FLOATING)) == 7
+        assert len(by_category(MULTIMEDIA)) == 5
+
+    def test_lookup(self):
+        assert get_workload("Huffman").name == "Huffman"
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_analyzable_column_shape(self):
+        # Table 6 column (a): less than a third of the benchmarks are
+        # statically analyzable, and they are concentrated in FP
+        analyzable = [w for w in all_workloads() if w.analyzable]
+        assert 0 < len(analyzable) <= len(all_workloads()) // 3 + 2
+        fp = [w for w in analyzable if w.category == FLOATING]
+        assert len(fp) >= len(analyzable) - 2
+
+    def test_data_sensitive_rows(self):
+        # the paper flags Assignment, db, euler, fft, LuFactor,
+        # NeuralNet, shallow as data-set sensitive
+        flagged = {w.name for w in all_workloads() if w.data_sensitive}
+        for name in ("Assignment", "db", "euler", "LuFactor",
+                     "NeuralNet", "shallow"):
+            assert name in flagged
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_workload_compiles_and_matches_golden(name, goldens):
+    w = get_workload(name)
+    result = run_program(w.compile())
+    gold = goldens[name]
+    assert result.return_value == gold["return_value"]
+    assert result.instructions == gold["instructions"]
+    assert result.cycles == gold["cycles"]
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_workload_has_candidate_loops(name):
+    from repro.cfg import find_candidates
+    w = get_workload(name)
+    table = find_candidates(w.compile())
+    assert table.loop_count >= 2
+    assert table.candidates(), "no candidate STLs in %s" % name
