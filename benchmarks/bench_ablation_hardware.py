@@ -7,10 +7,15 @@
 """
 
 from repro.hydra import HydraConfig
-from repro.jrpm import Jrpm
+from repro.jrpm import ArtifactCache, Jrpm
 from repro.workloads import get_workload
 
 from benchmarks.conftest import banner
+
+#: shared across the sweeps below: each ablation varies one hardware
+#: knob, so the compile/annotate/sequential stages hit the cache and
+#: only the profiled run (whose key includes the knob) re-executes
+_CACHE = ArtifactCache()
 
 DEEP_NEST = """
 func main() {
@@ -40,7 +45,8 @@ def test_ablation_bank_count(benchmark):
     for banks in (1, 2, 3, 8):
         config = HydraConfig(n_comparator_banks=banks)
         rep = Jrpm(source=DEEP_NEST, name="nest", config=config,
-                   convergence_threshold=None).run(simulate_tls=False)
+                   convergence_threshold=None,
+                   cache=_CACHE).run(simulate_tls=False)
         got = sum(1 for st in rep.device.stats.values()
                   if st.profiled_threads > 0)
         profiled[banks] = got
@@ -54,8 +60,8 @@ def test_ablation_bank_count(benchmark):
 
     benchmark.pedantic(
         lambda: Jrpm(source=DEEP_NEST,
-                     config=HydraConfig(n_comparator_banks=8)
-                     ).run(simulate_tls=False),
+                     config=HydraConfig(n_comparator_banks=8),
+                     cache=_CACHE).run(simulate_tls=False),
         rounds=1, iterations=1)
 
 
@@ -71,7 +77,8 @@ def test_ablation_fifo_depth(benchmark):
     for lines in (2, 16, 192):
         config = HydraConfig(heap_ts_fifo_lines=lines)
         rep = Jrpm(source=w.source(), name=w.name, config=config,
-                   convergence_threshold=None).run(simulate_tls=False)
+                   convergence_threshold=None,
+                   cache=_CACHE).run(simulate_tls=False)
         total_arcs = sum(st.arcs_prev + st.arcs_earlier
                          for st in rep.device.stats.values())
         arcs[lines] = total_arcs
@@ -94,8 +101,8 @@ def test_ablation_convergence_threshold(benchmark):
     rows = {}
     for threshold in (None, 10_000, 1000, 200):
         rep = Jrpm(source=w.source(), name=w.name,
-                   convergence_threshold=threshold).run(
-            simulate_tls=False)
+                   convergence_threshold=threshold,
+                   cache=_CACHE).run(simulate_tls=False)
         rows[threshold] = rep
         print("%-12s %11.1f%% %14s %11.2fx" % (
             threshold, 100 * (rep.profiling_slowdown - 1),

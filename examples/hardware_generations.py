@@ -13,7 +13,7 @@ Run:  python examples/hardware_generations.py
 """
 
 from repro.hydra import HydraConfig
-from repro.jrpm import Jrpm
+from repro.jrpm import ArtifactCache, Jrpm
 
 # store state per iteration: a row is 192 words (24 lines) and a block
 # is 24 rows (576 lines) — each machine generation can afford a
@@ -50,10 +50,14 @@ GENERATIONS = [
 
 
 def main():
+    # one cache across the generations: compile/annotate/sequential
+    # are machine-independent and run once; only the profiled run
+    # (whose key includes the buffer sizes) repeats per generation
+    cache = ArtifactCache()
     depths = {}
     for name, config in GENERATIONS:
-        report = Jrpm(source=SOURCE, name=name, config=config).run(
-            simulate_tls=False)
+        report = Jrpm(source=SOURCE, name=name, config=config,
+                      cache=cache).run(simulate_tls=False)
         table = report.candidates
         sel = report.selection.significant()
         levels = sorted(table.by_id[s.loop_id].depth for s in sel)
@@ -75,6 +79,8 @@ def main():
               % (depths["cut-down Hydra"], depths["future Hydra"]))
     else:
         print("Selected depths: %r" % depths)
+    print("artifact cache: %d hits, %d misses"
+          % (cache.hit_count, cache.miss_count))
 
 
 if __name__ == "__main__":

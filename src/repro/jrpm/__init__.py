@@ -1,7 +1,14 @@
 """Jrpm — the Java Runtime Parallelizing Machine analog (Figure 1):
 the end-to-end pipeline from source to selected, TLS-simulated STLs."""
 
-from repro.jrpm.batch import FleetResult, FleetRow, run_fleet
+from repro.jrpm.batch import (
+    FleetErrorRow,
+    FleetResult,
+    FleetRow,
+    run_fleet,
+)
+from repro.jrpm.cache import ArtifactCache
+from repro.jrpm.executor import FleetExecutor
 from repro.jrpm.pipeline import Jrpm, JrpmReport, run_pipeline
 from repro.jrpm.report import (
     render_characteristics_row,
@@ -13,6 +20,9 @@ from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 
 __all__ = [
     "AnnotationCounter",
+    "ArtifactCache",
+    "FleetErrorRow",
+    "FleetExecutor",
     "FleetResult",
     "FleetRow",
     "run_fleet",

@@ -11,12 +11,16 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jrpm.cache import ArtifactCache
 from repro.jrpm.pipeline import Jrpm, JrpmReport
 from repro.workloads.registry import Workload, all_workloads
 
 
 class FleetRow:
     """One benchmark's Table 6 / Fig 10 / Fig 11 numbers."""
+
+    #: this row carries a report (vs. a failure); aggregates filter on it
+    ok = True
 
     def __init__(self, workload: Workload, report: JrpmReport):
         self.workload = workload
@@ -91,12 +95,44 @@ class FleetRow:
             self.name, self.predicted_speedup, self.actual_speedup)
 
 
-class FleetResult:
-    """All rows plus cross-benchmark aggregates."""
+class FleetErrorRow:
+    """Placeholder for a workload whose pipeline raised.
 
-    def __init__(self, rows: List[FleetRow]):
+    Produced under ``on_error="row"`` so one bad workload doesn't kill
+    a long sweep; carries enough context to reproduce the failure."""
+
+    ok = False
+
+    def __init__(self, workload: Workload, error: str,
+                 trace: str = ""):
+        self.workload = workload
+        self.error = error
+        #: the worker's formatted traceback (parallel runs cross a
+        #: process boundary, so the original exception object is gone)
+        self.trace = trace
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FleetErrorRow %s %s>" % (self.name, self.error)
+
+
+class FleetResult:
+    """All rows plus cross-benchmark aggregates.
+
+    ``rows`` preserves workload order and may mix :class:`FleetRow`
+    with :class:`FleetErrorRow`; aggregates cover the successful rows.
+    ``cache_stats`` holds this run's artifact-cache hit/miss counters
+    as ``{stage: {"hits": n, "misses": n}}`` (empty without a cache).
+    """
+
+    def __init__(self, rows: List[FleetRow],
+                 cache_stats: Optional[Dict[str, Dict[str, int]]] = None):
         self.rows = rows
         self.by_name: Dict[str, FleetRow] = {r.name: r for r in rows}
+        self.cache_stats = cache_stats or {}
 
     def __iter__(self):
         return iter(self.rows)
@@ -105,8 +141,26 @@ class FleetResult:
         return len(self.rows)
 
     @property
+    def ok_rows(self) -> List[FleetRow]:
+        return [r for r in self.rows if r.ok]
+
+    @property
+    def errors(self) -> List[FleetErrorRow]:
+        return [r for r in self.rows if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.get("hits", 0) for c in self.cache_stats.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.get("misses", 0) for c in self.cache_stats.values())
+
+    @property
     def median_slowdown(self) -> float:
-        slows = sorted(r.slowdown for r in self.rows)
+        slows = sorted(r.slowdown for r in self.ok_rows)
+        if not slows:
+            return 1.0
         mid = len(slows) // 2
         if len(slows) % 2:
             return slows[mid]
@@ -117,7 +171,7 @@ class FleetResult:
         """Geometric mean of actual/predicted speedup (1.0 = perfect)."""
         import math
         ratios = [r.actual_speedup / r.predicted_speedup
-                  for r in self.rows if r.predicted_speedup > 0]
+                  for r in self.ok_rows if r.predicted_speedup > 0]
         if not ratios:
             return 1.0
         return math.exp(sum(math.log(x) for x in ratios) / len(ratios))
@@ -128,6 +182,9 @@ class FleetResult:
             "Benchmark", "Loops", "Depth", "Sel", "Height",
             "Thr/entry", "Size(cy)", "Pred", "Actual")]
         for r in self.rows:
+            if not r.ok:
+                lines.append("%-14s FAILED: %s" % (r.name, r.error))
+                continue
             lines.append(
                 "%-14s %5d %5d %4d %6.1f %10.0f %9.0f %7.2fx %7.2fx"
                 % (r.name, r.loop_count, r.dynamic_depth,
@@ -140,16 +197,25 @@ class FleetResult:
 def run_fleet(workloads: Optional[Iterable[Workload]] = None,
               config: HydraConfig = DEFAULT_HYDRA,
               simulate_tls: bool = True,
+              jobs: int = 1,
+              cache: Optional[ArtifactCache] = None,
+              on_error: str = "raise",
               **jrpm_kwargs) -> FleetResult:
     """Run the pipeline over ``workloads`` (default: all 26).
 
     Extra keyword arguments flow into every :class:`Jrpm` (annotation
     level, convergence threshold, optimizer, ...), so one call sweeps
     the whole evaluation under a new configuration.
+
+    ``jobs`` > 1 fans workloads over worker processes (rows still come
+    back in workload order); ``cache`` memoizes pipeline stages across
+    workloads and sweeps (parallel runs need a disk-backed cache);
+    ``on_error="row"`` turns a crashing workload into a
+    :class:`FleetErrorRow` instead of aborting the fleet.
     """
-    rows: List[FleetRow] = []
-    for w in (workloads if workloads is not None else all_workloads()):
-        jrpm = Jrpm(source=w.source(), name=w.name, config=config,
-                    **jrpm_kwargs)
-        rows.append(FleetRow(w, jrpm.run(simulate_tls=simulate_tls)))
-    return FleetResult(rows)
+    from repro.jrpm.executor import FleetExecutor
+
+    executor = FleetExecutor(jobs=jobs, config=config,
+                             simulate_tls=simulate_tls, cache=cache,
+                             on_error=on_error, **jrpm_kwargs)
+    return executor.run(workloads)

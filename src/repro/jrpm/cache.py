@@ -1,0 +1,225 @@
+"""Content-addressed pipeline artifact cache.
+
+Configuration sweeps (hardware ablations, dataset sensitivity, hardware
+generations) re-run the identical compile -> annotate -> profile front
+half of the Figure 1 pipeline under every configuration; only the
+stages a changed knob actually feeds need to re-execute.  This module
+memoizes the pipeline's intermediate products behind content-addressed
+keys so :class:`~repro.jrpm.pipeline.Jrpm` can skip unchanged stages.
+
+Stages and their key components
+-------------------------------
+``compile``
+    (source text, optimize flag) -> compiled :class:`Program` plus its
+    :class:`CandidateTable`.
+``annotate``
+    (compile key, annotation level) -> pristine
+    :class:`AnnotatedProgram` (snapshotted *before* the profiling run
+    patches converged READSTATS sites to NOPs).
+``sequential``
+    (compile key, cost model, instruction budget) -> the baseline
+    :class:`RunResult` of the unannotated program.
+``profile``
+    (annotate key, cost model, the profiling-relevant subset of
+    :class:`HydraConfig`, convergence threshold, extended flag,
+    instruction budget) -> the profiled run, the finished TEST device,
+    the recorded event trace, and the annotation counter.
+
+Selection (Equation 2) and the TLS replay are recomputed on every run:
+they are cheap relative to profiling and depend on knobs (``n_cpus``,
+the Table 2 overheads) that should *not* invalidate trace collection —
+exactly the stage split the paper's methodology implies, where one
+profile of a program is amortized across analyses.
+
+Values are stored as pickled blobs keyed by a SHA-256 digest of their
+canonicalized key components; every fetch unpickles a fresh copy, so
+cached artifacts can never alias live mutable state (the profiled run
+patches annotated code in place — a shared object would leak those
+patches into the next run).  An optional backing directory persists
+blobs across processes, which lets the parallel fleet executor's
+workers share one cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from repro.hydra.config import HydraConfig
+from repro.runtime.costs import CostModel
+
+STAGE_COMPILE = "compile"
+STAGE_ANNOTATE = "annotate"
+STAGE_SEQUENTIAL = "sequential"
+STAGE_PROFILE = "profile"
+
+#: every pipeline stage the cache knows about, in execution order
+STAGES = (STAGE_COMPILE, STAGE_ANNOTATE, STAGE_SEQUENTIAL, STAGE_PROFILE)
+
+#: HydraConfig fields the profiling stage actually reads: timestamp
+#: storage geometry (Section 5.3), comparator bank count (Section 5.2),
+#: and the Table 1 buffer limits the overflow analysis compares against.
+#: ``n_cpus``, the Table 2 overheads, and the load-buffer associativity
+#: feed only selection / TLS replay, so changing them keeps the profile.
+PROFILE_CONFIG_FIELDS = (
+    "line_size",
+    "heap_ts_fifo_lines",
+    "local_ts_lines",
+    "line_ts_ld_entries",
+    "line_ts_st_entries",
+    "n_comparator_banks",
+    "load_buffer_lines",
+    "store_buffer_lines",
+)
+
+
+def _canon(value: Any) -> str:
+    """Deterministic string form of a key component."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return "%s.%s" % (type(value).__name__, value.name)
+    if isinstance(value, (tuple, list)):
+        return "[%s]" % ",".join(_canon(v) for v in value)
+    if isinstance(value, dict):
+        return "{%s}" % ",".join(
+            "%s:%s" % (_canon(k), _canon(v))
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0])))
+    if isinstance(value, CostModel):
+        return "CostModel{%s|%s}" % (
+            _canon({int(k): v for k, v in value.op_costs.items()}),
+            _canon({int(k): v for k, v in value.bin_costs.items()}))
+    if isinstance(value, HydraConfig):
+        return "HydraConfig%s" % _canon(vars(value))
+    raise TypeError("uncacheable key component %r" % (value,))
+
+
+def cache_key(stage: str, *parts: Any) -> str:
+    """Content-addressed key: SHA-256 over the canonicalized parts."""
+    blob = "|".join([stage] + [_canon(p) for p in parts])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def profile_config_key(config: HydraConfig) -> Tuple:
+    """The profiling-relevant projection of a Hydra configuration."""
+    return tuple((f, getattr(config, f)) for f in PROFILE_CONFIG_FIELDS)
+
+
+class ArtifactCache:
+    """Blob store for pipeline artifacts with per-stage hit/miss
+    counters.
+
+    ``directory`` optionally backs the in-memory store with one file
+    per blob (named by digest), shared across processes; writes go
+    through a temp file + rename so concurrent workers never observe a
+    torn blob.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._blobs: Dict[str, bytes] = {}
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+
+    # -- blob plumbing ---------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".pkl")
+
+    def _read_blob(self, key: str) -> Optional[bytes]:
+        blob = self._blobs.get(key)
+        if blob is not None:
+            return blob
+        if self.directory is not None:
+            try:
+                with open(self._path(key), "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                return None
+            self._blobs[key] = blob
+            return blob
+        return None
+
+    def _write_blob(self, key: str, blob: bytes) -> None:
+        self._blobs[key] = blob
+        if self.directory is not None:
+            path = self._path(key)
+            tmp = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+
+    # -- the memoization interface ---------------------------------------
+
+    def fetch(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """(hit, value); the value is a fresh unpickled copy."""
+        blob = self._read_blob(key)
+        if blob is None:
+            self.misses[stage] = self.misses.get(stage, 0) + 1
+            return False, None
+        self.hits[stage] = self.hits.get(stage, 0) + 1
+        return True, pickle.loads(blob)
+
+    def store(self, stage: str, key: str, value: Any) -> None:
+        """Snapshot ``value`` (by pickling) under ``key``."""
+        self._write_blob(
+            key, pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+
+    # -- statistics -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Current counters as {stage: {"hits": n, "misses": n}}."""
+        out: Dict[str, Dict[str, int]] = {}
+        for stage in set(self.hits) | set(self.misses):
+            out[stage] = {"hits": self.hits.get(stage, 0),
+                          "misses": self.misses.get(stage, 0)}
+        return out
+
+    @property
+    def hit_count(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def miss_count(self) -> int:
+        return sum(self.misses.values())
+
+    def render(self) -> str:
+        """One-line-per-stage counter summary."""
+        lines = ["%-12s %6s %6s" % ("stage", "hits", "misses")]
+        for stage in STAGES:
+            if stage in self.hits or stage in self.misses:
+                lines.append("%-12s %6d %6d" % (
+                    stage, self.hits.get(stage, 0),
+                    self.misses.get(stage, 0)))
+        return "\n".join(lines)
+
+
+def merge_stats(into: Dict[str, Dict[str, int]],
+                extra: Optional[Dict[str, Dict[str, int]]]
+                ) -> Dict[str, Dict[str, int]]:
+    """Accumulate one counter snapshot into another (in place)."""
+    if extra:
+        for stage, counts in extra.items():
+            slot = into.setdefault(stage, {"hits": 0, "misses": 0})
+            slot["hits"] += counts.get("hits", 0)
+            slot["misses"] += counts.get("misses", 0)
+    return into
+
+
+def diff_stats(after: Dict[str, Dict[str, int]],
+               before: Dict[str, Dict[str, int]]
+               ) -> Dict[str, Dict[str, int]]:
+    """Counter delta between two snapshots of the same cache."""
+    out: Dict[str, Dict[str, int]] = {}
+    for stage, counts in after.items():
+        base = before.get(stage, {})
+        hits = counts.get("hits", 0) - base.get("hits", 0)
+        misses = counts.get("misses", 0) - base.get("misses", 0)
+        if hits or misses:
+            out[stage] = {"hits": hits, "misses": misses}
+    return out

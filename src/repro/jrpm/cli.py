@@ -6,6 +6,8 @@ Usage::
     jrpm run huffman              # full pipeline on one workload
     jrpm run huffman --extended   # with per-PC dependency profiling
     jrpm run path/to/file.mj      # any minijava source file
+    jrpm fleet                    # Table 6 over every workload
+    jrpm fleet --jobs 4 --cache-dir .jrpm-cache --workloads IDEA,euler
 """
 
 from __future__ import annotations
@@ -41,8 +43,78 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-tls", action="store_true",
                      help="skip the TLS timing simulation")
 
+    fleet = sub.add_parser(
+        "fleet", help="run the pipeline over many workloads")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1 = serial)")
+    fleet.add_argument("--workloads", metavar="A,B,...",
+                       help="comma-separated workload names "
+                            "(default: all)")
+    fleet.add_argument("--base", action="store_true",
+                       help="use base (unoptimized) annotations")
+    fleet.add_argument("--no-tls", action="store_true",
+                       help="skip the TLS timing simulation")
+    fleet.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache directory (reused across "
+                            "invocations and shared by parallel jobs)")
+
     sub.add_parser("list", help="list the bundled paper workloads")
     return parser
+
+
+def _run_fleet_command(args) -> int:
+    import time
+
+    from repro.jrpm.batch import run_fleet
+    from repro.jrpm.cache import ArtifactCache
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1, got %d" % args.jobs)
+    workloads = None
+    if args.workloads:
+        from repro.workloads.registry import get_workload, workload_names
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        try:
+            workloads = [get_workload(n) for n in names]
+        except KeyError as exc:
+            raise SystemExit(
+                "unknown workload %s; choose from: %s"
+                % (exc, ", ".join(workload_names())))
+    cache = None
+    if args.cache_dir:
+        cache = ArtifactCache(directory=args.cache_dir)
+    elif args.jobs > 1:
+        # parallel workers need a shared medium; give them a private
+        # disk cache so artifacts still flow between sweeps in-run
+        import tempfile
+        cache = ArtifactCache(
+            directory=tempfile.mkdtemp(prefix="jrpm-cache-"))
+    level = AnnotationLevel.BASE if args.base \
+        else AnnotationLevel.OPTIMIZED
+    start = time.perf_counter()
+    result = run_fleet(workloads=workloads, jobs=args.jobs,
+                       cache=cache, on_error="row", level=level,
+                       simulate_tls=not args.no_tls)
+    elapsed = time.perf_counter() - start
+
+    print(result.render())
+    print()
+    print("%d workloads in %.1fs (jobs=%d)  median slowdown %.2fx  "
+          "geomean actual/predicted %.2f"
+          % (len(result), elapsed, args.jobs, result.median_slowdown,
+             result.geomean_prediction_ratio))
+    if cache is not None:
+        print("cache: %d hits, %d misses"
+              % (result.cache_hits, result.cache_misses))
+    failures = result.errors
+    if failures:
+        print()
+        for row in failures:
+            print("FAILED %s: %s" % (row.name, row.error))
+            if row.trace:
+                print(row.trace)
+        return 1
+    return 0
 
 
 def _resolve_source(target: str) -> tuple:
@@ -69,6 +141,9 @@ def main(argv=None) -> int:
         for w in all_workloads():
             print("%-16s %-14s %s" % (w.name, w.category, w.description))
         return 0
+
+    if args.command == "fleet":
+        return _run_fleet_command(args)
 
     name, source = _resolve_source(args.target)
     level = AnnotationLevel.BASE if args.base \

@@ -1,0 +1,165 @@
+"""Parallel fleet execution.
+
+The Section 6 evaluation is embarrassingly parallel: each benchmark's
+pipeline run is independent of every other's.  :class:`FleetExecutor`
+fans the fleet over a :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping three properties the serial loop had for free:
+
+* **deterministic ordering** — rows come back in workload order no
+  matter which worker finishes first (results are keyed by submission
+  index, not completion order);
+* **failure isolation** — with ``on_error="row"`` a crashing workload
+  becomes a :class:`~repro.jrpm.batch.FleetErrorRow` carrying the
+  worker's traceback instead of killing the whole sweep;
+  ``on_error="raise"`` (the default, matching the historical serial
+  semantics) re-raises the first failure in workload order;
+* **shared caching** — workers cannot share an in-memory
+  :class:`~repro.jrpm.cache.ArtifactCache`, so parallel runs pass a
+  ``cache_dir`` and each worker opens the same disk-backed cache; the
+  per-worker hit/miss counters are shipped back and merged into the
+  :class:`~repro.jrpm.batch.FleetResult`.
+
+``jobs=1`` executes inline in the calling process — no pool, no
+pickling — and is byte-identical to the historical ``run_fleet`` loop.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PipelineError
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jrpm.cache import ArtifactCache, diff_stats, merge_stats
+from repro.jrpm.pipeline import Jrpm
+from repro.workloads.registry import Workload, all_workloads
+
+
+def _execute_workload(payload: Tuple) -> Tuple:
+    """Pool worker: run one workload's pipeline.
+
+    Module-level (picklable) and fully self-describing: the payload
+    carries everything needed so workers built by ``spawn`` work as
+    well as ``fork``.  Returns ``(index, row_or_error, stats)`` where
+    ``row_or_error`` is a FleetRow on success or an ``(exc_repr,
+    traceback_text)`` pair on failure, and ``stats`` is the worker
+    cache's hit/miss counter delta (or None without a cache).
+    """
+    from repro.jrpm.batch import FleetRow
+
+    (index, workload, config, simulate_tls, cache_dir,
+     jrpm_kwargs) = payload
+    cache = ArtifactCache(directory=cache_dir) \
+        if cache_dir is not None else None
+    try:
+        jrpm = Jrpm(source=workload.source(), name=workload.name,
+                    config=config, cache=cache, **jrpm_kwargs)
+        report = jrpm.run(simulate_tls=simulate_tls)
+        row = FleetRow(workload, report)
+        return index, row, cache.snapshot() if cache else None
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        return (index, (repr(exc), traceback.format_exc()),
+                cache.snapshot() if cache else None)
+
+
+class FleetExecutor:
+    """Runs a fleet of workloads serially or across worker processes.
+
+    Parameters mirror :func:`~repro.jrpm.batch.run_fleet`; extra
+    keyword arguments flow into every :class:`Jrpm`.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 simulate_tls: bool = True,
+                 cache: Optional[ArtifactCache] = None,
+                 on_error: str = "raise",
+                 **jrpm_kwargs):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        if on_error not in ("raise", "row"):
+            raise ValueError(
+                "on_error must be 'raise' or 'row', got %r" % on_error)
+        if jobs > 1 and cache is not None and cache.directory is None:
+            raise ValueError(
+                "parallel fleets need a disk-backed cache "
+                "(ArtifactCache(directory=...)) so worker processes "
+                "can share artifacts")
+        self.jobs = jobs
+        self.config = config
+        self.simulate_tls = simulate_tls
+        self.cache = cache
+        self.on_error = on_error
+        self.jrpm_kwargs = jrpm_kwargs
+
+    # -- the two execution strategies -------------------------------------
+
+    def _run_serial(self, workloads: List[Workload]) -> Tuple[List, Dict]:
+        from repro.jrpm.batch import FleetErrorRow, FleetRow
+
+        cache = self.cache
+        before = cache.snapshot() if cache else {}
+        rows: List = []
+        for w in workloads:
+            try:
+                jrpm = Jrpm(source=w.source(), name=w.name,
+                            config=self.config, cache=cache,
+                            **self.jrpm_kwargs)
+                rows.append(
+                    FleetRow(w, jrpm.run(simulate_tls=self.simulate_tls)))
+            except Exception as exc:  # noqa: BLE001 - isolated per row
+                if self.on_error == "raise":
+                    raise
+                rows.append(FleetErrorRow(w, repr(exc),
+                                          traceback.format_exc()))
+        stats = diff_stats(cache.snapshot(), before) if cache else {}
+        return rows, stats
+
+    def _run_parallel(self, workloads: List[Workload]
+                      ) -> Tuple[List, Dict]:
+        from repro.jrpm.batch import FleetErrorRow
+
+        cache_dir = self.cache.directory if self.cache else None
+        payloads = [
+            (i, w, self.config, self.simulate_tls, cache_dir,
+             self.jrpm_kwargs)
+            for i, w in enumerate(workloads)]
+        results: List = [None] * len(workloads)
+        stats: Dict = {}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            for index, outcome, worker_stats in pool.map(
+                    _execute_workload, payloads):
+                results[index] = outcome
+                merge_stats(stats, worker_stats)
+
+        rows: List = []
+        for w, outcome in zip(workloads, results):
+            if isinstance(outcome, tuple):  # (exc_repr, traceback)
+                exc_repr, trace = outcome
+                if self.on_error == "raise":
+                    raise PipelineError(
+                        "workload %r failed in a fleet worker: %s\n%s"
+                        % (w.name, exc_repr, trace))
+                rows.append(FleetErrorRow(w, exc_repr, trace))
+            else:
+                rows.append(outcome)
+        # replay the workers' blobs into the parent cache's counters?
+        # No: parent-side stats should reflect this fleet run only,
+        # which is exactly the merged worker deltas computed above.
+        return rows, stats
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, workloads: Optional[Iterable[Workload]] = None):
+        """Execute the fleet; returns a
+        :class:`~repro.jrpm.batch.FleetResult` in workload order."""
+        from repro.jrpm.batch import FleetResult
+
+        fleet = list(workloads) if workloads is not None \
+            else all_workloads()
+        if self.jobs == 1:
+            rows, stats = self._run_serial(fleet)
+        else:
+            rows, stats = self._run_parallel(fleet)
+        return FleetResult(rows, cache_stats=stats)

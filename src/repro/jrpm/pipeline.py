@@ -32,10 +32,19 @@ from repro.jit.annotate import (
     annotate_program,
 )
 from repro.jit.speculative import STLCompilation, compile_stl
+from repro.jrpm.cache import (
+    STAGE_ANNOTATE,
+    STAGE_COMPILE,
+    STAGE_PROFILE,
+    STAGE_SEQUENTIAL,
+    ArtifactCache,
+    cache_key,
+    profile_config_key,
+)
 from repro.jrpm.runtime import ProfilingRuntime
 from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 from repro.lang.codegen import compile_source
-from repro.runtime.costs import CostModel
+from repro.runtime.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.events import MulticastListener, RecordingListener
 from repro.runtime.interpreter import Interpreter, RunResult, run_program
 from repro.tls.simulator import TLSResult, simulate_stl
@@ -99,13 +108,18 @@ class Jrpm:
                  optimize: bool = False,
                  min_speedup: float = 1.05,
                  convergence_threshold: int = 1000,
-                 max_instructions: int = 200_000_000):
+                 max_instructions: int = 200_000_000,
+                 cache: Optional[ArtifactCache] = None):
         if (source is None) == (program is None):
             raise PipelineError(
                 "provide exactly one of source= or program=")
         self.name = name
         self._source = source
         self._program = program
+        #: artifact cache for the compile/annotate/sequential/profile
+        #: stages; only effective in source= mode (a pre-built Program
+        #: has no content-addressable identity)
+        self.cache = cache if source is not None else None
         self.config = config
         self.cost_model = cost_model
         self.level = level
@@ -123,42 +137,98 @@ class Jrpm:
     def run(self, simulate_tls: bool = True) -> JrpmReport:
         """Execute the full pipeline; see the module docstring."""
         report = JrpmReport(self.name)
+        cache = self.cache
+        cost_model = self.cost_model if self.cost_model is not None \
+            else DEFAULT_COSTS
 
         # stage 1: compile + candidate STLs
-        program = self._program if self._program is not None \
-            else compile_source(self._source)
-        if self.optimize:
-            from repro.jit.optimize import optimize_program
-            program = program.copy()
-            optimize_program(program)
+        ckey = hit = art = None
+        if cache is not None:
+            ckey = cache_key(STAGE_COMPILE, self._source, self.optimize)
+            hit, art = cache.fetch(STAGE_COMPILE, ckey)
+        if hit:
+            program, candidates = art
+        else:
+            program = self._program if self._program is not None \
+                else compile_source(self._source)
+            if self.optimize:
+                from repro.jit.optimize import optimize_program
+                program = program.copy()
+                optimize_program(program)
+            candidates = find_candidates(program)
+            if cache is not None:
+                cache.store(STAGE_COMPILE, ckey, (program, candidates))
         report.program = program
-        report.candidates = find_candidates(program)
+        report.candidates = candidates
 
-        # stage 1b: annotate
-        report.annotated = annotate_program(
-            program, report.candidates, self.level)
+        # stage 1b: annotate.  The artifact is stored before the
+        # profiled run, which patches converged READSTATS sites in the
+        # live annotated code — the cache must hold the pristine form.
+        akey = annotated = None
+        hit = False
+        if cache is not None:
+            akey = cache_key(STAGE_ANNOTATE, ckey, self.level)
+            hit, annotated = cache.fetch(STAGE_ANNOTATE, akey)
+        if not hit:
+            annotated = annotate_program(program, candidates, self.level)
+            if cache is not None:
+                cache.store(STAGE_ANNOTATE, akey, annotated)
+        report.annotated = annotated
 
         # baseline sequential run (the "original code")
-        report.sequential = run_program(
-            program, cost_model=self.cost_model,
-            max_instructions=self.max_instructions)
+        sequential = None
+        hit = False
+        if cache is not None:
+            skey = cache_key(STAGE_SEQUENTIAL, ckey, cost_model,
+                             self.max_instructions)
+            hit, sequential = cache.fetch(STAGE_SEQUENTIAL, skey)
+        if not hit:
+            sequential = run_program(
+                program, cost_model=self.cost_model,
+                max_instructions=self.max_instructions)
+            if cache is not None:
+                cache.store(STAGE_SEQUENTIAL, skey, sequential)
+        report.sequential = sequential
 
-        # stage 2: profiled run with TEST attached
-        device_cls = ExtendedTestDevice if self.extended else TestDevice
-        device = device_cls(self.config)
-        device.convergence_threshold = self.convergence_threshold
-        for lid, cand in report.annotated.annotated_loops.items():
-            device.register_loop_locals(lid, cand.tracked_locals)
-        recording = RecordingListener()
-        counter = AnnotationCounter()
-        listener = MulticastListener([device, recording, counter])
-        interp = Interpreter(
-            report.annotated.program, cost_model=self.cost_model,
-            listener=listener, max_instructions=self.max_instructions)
-        runtime = ProfilingRuntime(report.annotated.program, interp)
-        device.on_converged = runtime.on_converged
-        report.profiled = interp.run()
-        device.finish()
+        # stage 2: profiled run with TEST attached.  The key projects
+        # the config onto the fields the device actually reads, so
+        # selection-only knobs (n_cpus, Table 2 overheads) don't force
+        # a re-profile.
+        hit = False
+        if cache is not None:
+            pkey = cache_key(
+                STAGE_PROFILE, akey, cost_model,
+                profile_config_key(self.config),
+                self.convergence_threshold, self.extended,
+                self.max_instructions)
+            hit, art = cache.fetch(STAGE_PROFILE, pkey)
+        if hit:
+            profiled, device, recording, counter = art
+        else:
+            device_cls = ExtendedTestDevice if self.extended \
+                else TestDevice
+            device = device_cls(self.config)
+            device.convergence_threshold = self.convergence_threshold
+            for lid, cand in annotated.annotated_loops.items():
+                device.register_loop_locals(lid, cand.tracked_locals)
+            recording = RecordingListener()
+            counter = AnnotationCounter()
+            listener = MulticastListener([device, recording, counter])
+            interp = Interpreter(
+                annotated.program, cost_model=self.cost_model,
+                listener=listener, max_instructions=self.max_instructions)
+            runtime = ProfilingRuntime(annotated.program, interp)
+            device.on_converged = runtime.on_converged
+            profiled = interp.run()
+            device.finish()
+            if cache is not None:
+                # the convergence callback is a bound method of the
+                # runtime, which holds the whole interpreter — drop it
+                # (profiling is over) instead of pickling that graph
+                device.on_converged = None
+                cache.store(STAGE_PROFILE, pkey,
+                            (profiled, device, recording, counter))
+        report.profiled = profiled
         report.device = device
         report.slowdown = SlowdownBreakdown(
             report.sequential.cycles, report.profiled.cycles, counter)

@@ -43,5 +43,6 @@ class ProfilingRuntime:
         """Device callback: nop out the loop's READSTATS sites."""
         for fn, pc in self._readstats_sites.get(loop_id, ()):
             fn.code[pc] = Instr(Op.NOP)
-            self._interpreter.patch_cost(fn.name, pc, Op.NOP)
+            self._interpreter.patch_cost(fn.name, pc, Op.NOP,
+                                         fn.code[pc].sub)
         self.patched.append(loop_id)

@@ -44,6 +44,14 @@ class AnnotationCounter(TraceListener):
     def on_readstats(self, loop_id, cycle):
         self.readstats += 1
 
+    def on_mem_batch(self, events):
+        for ev in events:
+            kind = ev[0]
+            if kind == "lld":
+                self.lwl += 1
+            elif kind == "lst":
+                self.swl += 1
+
 
 class SlowdownBreakdown:
     """Figure 6's stacked components for one annotated run."""

@@ -62,6 +62,41 @@ class TraceListener:
     def on_readstats(self, loop_id: int, cycle: int) -> None:
         """The program read collected statistics for ``loop_id``."""
 
+    def on_mem_batch(self, events) -> None:
+        """A batch of memory events in program order.
+
+        The interpreter buffers heap and annotated-local events and
+        delivers them in one call per batch (flushing before every loop
+        marker), which drops the per-access Python call overhead.  Each
+        entry is one of::
+
+            ("ld",  address, cycle, fn, pc)
+            ("st",  address, cycle, fn, pc)
+            ("lld", frame_id, slot, cycle, fn, pc)
+            ("lst", frame_id, slot, cycle, fn, pc)
+
+        ``events`` is only valid for the duration of the call (the
+        interpreter reuses the buffer); listeners that retain events
+        must copy them.  The default implementation replays the batch
+        through the per-event callbacks, so existing listeners work
+        unchanged; hot listeners override this for one dispatch per
+        batch instead of one per event.
+        """
+        on_load = self.on_load
+        on_store = self.on_store
+        on_local_load = self.on_local_load
+        on_local_store = self.on_local_store
+        for ev in events:
+            kind = ev[0]
+            if kind == "ld":
+                on_load(ev[1], ev[2], ev[3], ev[4])
+            elif kind == "st":
+                on_store(ev[1], ev[2], ev[3], ev[4])
+            elif kind == "lld":
+                on_local_load(ev[1], ev[2], ev[3], ev[4], ev[5])
+            else:
+                on_local_store(ev[1], ev[2], ev[3], ev[4], ev[5])
+
 
 class MemEvent(NamedTuple):
     """One recorded memory/local event, for trace-driven TLS simulation."""
@@ -121,6 +156,16 @@ class RecordingListener(TraceListener):
     def _want(self, loop_id: int) -> bool:
         return self._loop_filter is None or loop_id == self._loop_filter
 
+    def on_mem_batch(self, events):
+        append = self.mem.append
+        for ev in events:
+            kind = ev[0]
+            if kind == "ld" or kind == "st":
+                append(MemEvent(ev[2], kind, ev[1]))
+            else:
+                append(MemEvent(
+                    ev[3], kind, local_address(ev[1], ev[2])))
+
     def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
         if self._want(loop_id):
             self.marks.append(LoopMark(cycle, "sloop", loop_id))
@@ -156,6 +201,10 @@ class MulticastListener(TraceListener):
     def on_local_store(self, frame_id, slot, cycle, fn="", pc=-1):
         for lst in self.listeners:
             lst.on_local_store(frame_id, slot, cycle, fn, pc)
+
+    def on_mem_batch(self, events):
+        for lst in self.listeners:
+            lst.on_mem_batch(events)
 
     def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
         for lst in self.listeners:

@@ -10,8 +10,20 @@ Design notes
 ------------
 * The call stack is explicit (no Python recursion), so deeply recursive
   workloads cannot blow the host stack.
-* Per-function cycle costs are precomputed into flat lists; the hot loop
-  is a single ``if/elif`` dispatch over the opcode int.
+* Each function's instruction stream is predecoded once into a dispatch
+  table of flat operand tuples ``(op, a, b, c, sub, imm, name, args)``
+  with the opcode as a plain int, alongside a flat cycle-cost list.
+  The hot loop dispatches on the precomputed int — no per-instruction
+  attribute lookups, no enum comparisons.
+* Two specialized execution loops share that decoded form:
+  ``_run_fast`` (no listener) strips every piece of event plumbing —
+  annotation opcodes reduce to a cost charge and a pc bump — and is the
+  path plain sequential runs take; ``_run_traced`` publishes trace
+  events, batching memory events (heap *and* annotated locals) into one
+  ordered buffer that is delivered via
+  :meth:`~repro.runtime.events.TraceListener.on_mem_batch` and flushed
+  before every loop marker, so per-event Python call overhead is paid
+  once per batch instead of once per access.
 * ``max_instructions`` bounds runaway programs with a clear error.
 """
 
@@ -26,6 +38,38 @@ from repro.runtime.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.events import TraceListener
 from repro.runtime.heap import Heap
 from repro.runtime.values import apply_binop, apply_intrinsic, apply_unop
+
+# plain-int opcodes for the dispatch loops (enum compares are slow)
+_CONST = int(Op.CONST)
+_MOV = int(Op.MOV)
+_BIN = int(Op.BIN)
+_UN = int(Op.UN)
+_NEWARR = int(Op.NEWARR)
+_ALOAD = int(Op.ALOAD)
+_ASTORE = int(Op.ASTORE)
+_LEN = int(Op.LEN)
+_JMP = int(Op.JMP)
+_BR = int(Op.BR)
+_CALL = int(Op.CALL)
+_RET = int(Op.RET)
+_INTRIN = int(Op.INTRIN)
+_SLOOP = int(Op.SLOOP)
+_EOI = int(Op.EOI)
+_ELOOP = int(Op.ELOOP)
+_LWL = int(Op.LWL)
+_SWL = int(Op.SWL)
+_READSTATS = int(Op.READSTATS)
+_PRINT = int(Op.PRINT)
+_NOP = int(Op.NOP)
+
+#: memory events buffered before delivery in the traced loop
+_FLUSH_AT = 512
+
+
+def _decode_one(ins) -> tuple:
+    """One instruction as a flat dispatch-table entry."""
+    return (int(ins.op), ins.a, ins.b, ins.c, ins.sub, ins.imm,
+            ins.name, ins.args)
 
 
 class RunResult:
@@ -44,22 +88,6 @@ class RunResult:
             self.cycles, self.instructions, self.return_value)
 
 
-class _Frame:
-    """One activation record."""
-
-    __slots__ = ("fn", "code", "costs", "pc", "slots", "dst", "frame_id")
-
-    def __init__(self, fn: Function, code, costs, slots, dst: int,
-                 frame_id: int):
-        self.fn = fn
-        self.code = code
-        self.costs = costs
-        self.pc = 0
-        self.slots = slots
-        self.dst = dst
-        self.frame_id = frame_id
-
-
 class Interpreter:
     """Executes a :class:`~repro.bytecode.program.Program`."""
 
@@ -73,14 +101,23 @@ class Interpreter:
         self.listener = listener
         self.max_instructions = max_instructions
         self._cost_cache = {}
+        self._decoded_cache = {}
 
-    def patch_cost(self, fn_name: str, pc: int, op: Op) -> None:
-        """Refresh one cached instruction cost after code patching (the
+    def patch_cost(self, fn_name: str, pc: int, op: Op,
+                   sub: int = 0) -> None:
+        """Refresh one cached instruction after code patching (the
         runtime overwrites converged loops' READSTATS with NOPs, and
-        running frames hold a reference to the cached cost list)."""
+        running frames hold references to the cached cost and dispatch
+        lists).  ``sub`` is the sub-opcode (BIN/UN) of the new
+        instruction — cycle costs depend on it."""
         cached = self._cost_cache.get(fn_name)
         if cached is not None:
-            cached[pc] = self.cost_model.cost(op)
+            cached[pc] = self.cost_model.cost(op, sub)
+        decoded = self._decoded_cache.get(fn_name)
+        if decoded is not None:
+            fn = self.program.functions.get(fn_name)
+            if fn is not None:
+                decoded[pc] = _decode_one(fn.code[pc])
 
     def _costs_for(self, fn: Function) -> List[int]:
         cached = self._cost_cache.get(fn.name)
@@ -90,173 +127,352 @@ class Interpreter:
             self._cost_cache[fn.name] = cached
         return cached
 
+    def _decoded_for(self, fn: Function) -> List[tuple]:
+        cached = self._decoded_cache.get(fn.name)
+        if cached is None:
+            cached = [_decode_one(ins) for ins in fn.code]
+            self._decoded_cache[fn.name] = cached
+        return cached
+
     def run(self) -> RunResult:
         """Execute from the entry function to completion."""
+        if self.listener is None:
+            return self._run_fast()
+        return self._run_traced()
+
+    # -- fast path: no listener attached ---------------------------------
+
+    def _run_fast(self) -> RunResult:
         heap = Heap()
         printed: List = []
-        listener = self.listener
-        next_frame_id = 0
+        functions = self.program.functions
 
         entry = self.program.main
-        frame = _Frame(entry, entry.code, self._costs_for(entry),
-                       [0] * entry.n_slots, -1, next_frame_id)
-        next_frame_id += 1
-        stack: List[_Frame] = []
+        fn_name = entry.name
+        code = self._decoded_for(entry)
+        costs = self._costs_for(entry)
+        slots = [0] * entry.n_slots
+        dst = -1
+        pc = 0
+        #: (code, costs, slots, return pc, dst, fn_name) per caller
+        stack: List[tuple] = []
 
         cycles = 0
         executed = 0
         limit = self.max_instructions
-        return_value = None
+
+        heap_load = heap.load
+        heap_store = heap.store
 
         while True:
-            code = frame.code
-            costs = frame.costs
-            slots = frame.slots
-            pc = frame.pc
-            # inner loop over the current frame; broken by CALL/RET
+            ins = code[pc]
+            op = ins[0]
+            cycles += costs[pc]
+            executed += 1
+            if executed > limit:
+                raise ExecutionError(
+                    "instruction budget exceeded (%d)" % limit,
+                    pc, fn_name)
+            if op == _BIN:
+                try:
+                    slots[ins[1]] = apply_binop(
+                        ins[4], slots[ins[2]], slots[ins[3]])
+                except ExecutionError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _CONST:
+                slots[ins[1]] = ins[5]
+                pc += 1
+            elif op == _MOV:
+                slots[ins[1]] = slots[ins[2]]
+                pc += 1
+            elif op == _BR:
+                pc = ins[2] if slots[ins[1]] else ins[3]
+            elif op == _JMP:
+                pc = ins[1]
+            elif op == _ALOAD:
+                try:
+                    slots[ins[1]] = heap_load(slots[ins[2]], slots[ins[3]])
+                except HeapError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _ASTORE:
+                try:
+                    heap_store(slots[ins[1]], slots[ins[2]], slots[ins[3]])
+                except HeapError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _UN:
+                try:
+                    slots[ins[1]] = apply_unop(ins[4], slots[ins[2]])
+                except ExecutionError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _NEWARR:
+                try:
+                    slots[ins[1]] = heap.allocate(slots[ins[2]])
+                except HeapError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _LEN:
+                try:
+                    slots[ins[1]] = heap.length(slots[ins[2]])
+                except HeapError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _INTRIN:
+                try:
+                    slots[ins[1]] = apply_intrinsic(
+                        ins[6], [slots[s] for s in ins[7]])
+                except ExecutionError as exc:
+                    raise ExecutionError(
+                        str(exc), pc, fn_name) from None
+                pc += 1
+            elif op == _CALL:
+                callee = functions.get(ins[6])
+                if callee is None:
+                    raise ExecutionError(
+                        "call to unknown function %r" % ins[6],
+                        pc, fn_name)
+                new_slots = [0] * callee.n_slots
+                for i, arg_slot in enumerate(ins[7]):
+                    new_slots[i] = slots[arg_slot]
+                stack.append((code, costs, slots, pc + 1, dst, fn_name))
+                dst = ins[1]
+                fn_name = callee.name
+                code = self._decoded_for(callee)
+                costs = self._costs_for(callee)
+                slots = new_slots
+                pc = 0
+            elif op == _RET:
+                value = slots[ins[1]] if ins[1] >= 0 else None
+                if not stack:
+                    return RunResult(cycles, executed, value, heap,
+                                     printed)
+                code, costs, slots, pc, ret_dst, fn_name = stack.pop()
+                if dst >= 0:
+                    slots[dst] = value
+                dst = ret_dst
+            elif op == _PRINT:
+                printed.append(slots[ins[1]])
+                pc += 1
+            elif op == _NOP or op >= _SLOOP:
+                # annotations are pure cost with no listener attached
+                pc += 1
+            else:  # pragma: no cover - exhaustive
+                raise ExecutionError("unknown opcode %r" % op, pc, fn_name)
+
+    # -- traced path: publish events to the listener ---------------------
+
+    def _run_traced(self) -> RunResult:
+        heap = Heap()
+        printed: List = []
+        listener = self.listener
+        functions = self.program.functions
+        next_frame_id = 0
+
+        entry = self.program.main
+        fn_name = entry.name
+        code = self._decoded_for(entry)
+        costs = self._costs_for(entry)
+        slots = [0] * entry.n_slots
+        dst = -1
+        pc = 0
+        frame_id = next_frame_id
+        next_frame_id += 1
+        #: (code, costs, slots, return pc, dst, fn_name, frame_id)
+        stack: List[tuple] = []
+
+        cycles = 0
+        executed = 0
+        limit = self.max_instructions
+
+        heap_load = heap.load
+        heap_store = heap.store
+        heap_address = heap.address
+        on_mem_batch = listener.on_mem_batch
+
+        # one ordered buffer for heap AND local memory events; flushed
+        # before every loop marker so listeners observe the exact event
+        # order the unbatched interface delivered
+        buf: List[tuple] = []
+        buf_append = buf.append
+
+        try:
             while True:
                 ins = code[pc]
-                op = ins.op
+                op = ins[0]
                 cycles += costs[pc]
                 executed += 1
                 if executed > limit:
                     raise ExecutionError(
                         "instruction budget exceeded (%d)" % limit,
-                        pc, frame.fn.name)
-                if op == Op.BIN:
+                        pc, fn_name)
+                if op == _BIN:
                     try:
-                        slots[ins.a] = apply_binop(
-                            ins.sub, slots[ins.b], slots[ins.c])
+                        slots[ins[1]] = apply_binop(
+                            ins[4], slots[ins[2]], slots[ins[3]])
                     except ExecutionError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
+                            str(exc), pc, fn_name) from None
                     pc += 1
-                elif op == Op.CONST:
-                    slots[ins.a] = ins.imm
+                elif op == _CONST:
+                    slots[ins[1]] = ins[5]
                     pc += 1
-                elif op == Op.MOV:
-                    slots[ins.a] = slots[ins.b]
+                elif op == _MOV:
+                    slots[ins[1]] = slots[ins[2]]
                     pc += 1
-                elif op == Op.BR:
-                    pc = ins.b if slots[ins.a] else ins.c
-                elif op == Op.JMP:
-                    pc = ins.a
-                elif op == Op.ALOAD:
+                elif op == _BR:
+                    pc = ins[2] if slots[ins[1]] else ins[3]
+                elif op == _JMP:
+                    pc = ins[1]
+                elif op == _ALOAD:
                     try:
-                        slots[ins.a] = heap.load(slots[ins.b], slots[ins.c])
+                        slots[ins[1]] = heap_load(
+                            slots[ins[2]], slots[ins[3]])
                     except HeapError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
-                    if listener is not None:
-                        listener.on_load(
-                            heap.address(slots[ins.b], slots[ins.c]),
-                            cycles, frame.fn.name, pc)
+                            str(exc), pc, fn_name) from None
+                    buf_append(("ld",
+                                heap_address(slots[ins[2]], slots[ins[3]]),
+                                cycles, fn_name, pc))
+                    if len(buf) >= _FLUSH_AT:
+                        on_mem_batch(buf)
+                        buf.clear()
                     pc += 1
-                elif op == Op.ASTORE:
+                elif op == _ASTORE:
                     try:
-                        heap.store(slots[ins.a], slots[ins.b], slots[ins.c])
+                        heap_store(slots[ins[1]], slots[ins[2]],
+                                   slots[ins[3]])
                     except HeapError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
-                    if listener is not None:
-                        listener.on_store(
-                            heap.address(slots[ins.a], slots[ins.b]),
-                            cycles, frame.fn.name, pc)
+                            str(exc), pc, fn_name) from None
+                    buf_append(("st",
+                                heap_address(slots[ins[1]], slots[ins[2]]),
+                                cycles, fn_name, pc))
+                    if len(buf) >= _FLUSH_AT:
+                        on_mem_batch(buf)
+                        buf.clear()
                     pc += 1
-                elif op == Op.UN:
+                elif op == _UN:
                     try:
-                        slots[ins.a] = apply_unop(ins.sub, slots[ins.b])
+                        slots[ins[1]] = apply_unop(ins[4], slots[ins[2]])
                     except ExecutionError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
+                            str(exc), pc, fn_name) from None
                     pc += 1
-                elif op == Op.NEWARR:
+                elif op == _NEWARR:
                     try:
-                        slots[ins.a] = heap.allocate(slots[ins.b])
+                        slots[ins[1]] = heap.allocate(slots[ins[2]])
                     except HeapError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
+                            str(exc), pc, fn_name) from None
                     pc += 1
-                elif op == Op.LEN:
+                elif op == _LEN:
                     try:
-                        slots[ins.a] = heap.length(slots[ins.b])
+                        slots[ins[1]] = heap.length(slots[ins[2]])
                     except HeapError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
+                            str(exc), pc, fn_name) from None
                     pc += 1
-                elif op == Op.INTRIN:
+                elif op == _INTRIN:
                     try:
-                        slots[ins.a] = apply_intrinsic(
-                            ins.name, [slots[s] for s in ins.args])
+                        slots[ins[1]] = apply_intrinsic(
+                            ins[6], [slots[s] for s in ins[7]])
                     except ExecutionError as exc:
                         raise ExecutionError(
-                            str(exc), pc, frame.fn.name) from None
+                            str(exc), pc, fn_name) from None
                     pc += 1
-                elif op == Op.CALL:
-                    callee = self.program.functions.get(ins.name)
+                elif op == _CALL:
+                    callee = functions.get(ins[6])
                     if callee is None:
                         raise ExecutionError(
-                            "call to unknown function %r" % ins.name,
-                            pc, frame.fn.name)
+                            "call to unknown function %r" % ins[6],
+                            pc, fn_name)
                     new_slots = [0] * callee.n_slots
-                    for i, arg_slot in enumerate(ins.args):
+                    for i, arg_slot in enumerate(ins[7]):
                         new_slots[i] = slots[arg_slot]
-                    frame.pc = pc + 1
-                    stack.append(frame)
-                    frame = _Frame(callee, callee.code,
-                                   self._costs_for(callee),
-                                   new_slots, ins.a, next_frame_id)
+                    stack.append((code, costs, slots, pc + 1, dst,
+                                  fn_name, frame_id))
+                    dst = ins[1]
+                    fn_name = callee.name
+                    code = self._decoded_for(callee)
+                    costs = self._costs_for(callee)
+                    slots = new_slots
+                    pc = 0
+                    frame_id = next_frame_id
                     next_frame_id += 1
-                    break
-                elif op == Op.RET:
-                    value = slots[ins.a] if ins.a >= 0 else None
+                elif op == _RET:
+                    value = slots[ins[1]] if ins[1] >= 0 else None
                     if not stack:
-                        return_value = value
-                        return RunResult(cycles, executed, return_value,
-                                         heap, printed)
-                    caller = stack.pop()
-                    if frame.dst >= 0:
-                        caller.slots[frame.dst] = value
-                    frame = caller
-                    break
-                # --- annotations --------------------------------------
-                elif op == Op.LWL:
-                    if listener is not None:
-                        listener.on_local_load(
-                            frame.frame_id, ins.a, cycles,
-                            frame.fn.name, pc)
+                        if buf:
+                            on_mem_batch(buf)
+                            buf.clear()
+                        return RunResult(cycles, executed, value, heap,
+                                         printed)
+                    (code, costs, slots, pc, ret_dst, fn_name,
+                     frame_id) = stack.pop()
+                    if dst >= 0:
+                        slots[dst] = value
+                    dst = ret_dst
+                # --- annotations ------------------------------------
+                elif op == _LWL:
+                    buf_append(("lld", frame_id, ins[1], cycles,
+                                fn_name, pc))
+                    if len(buf) >= _FLUSH_AT:
+                        on_mem_batch(buf)
+                        buf.clear()
                     pc += 1
-                elif op == Op.SWL:
-                    if listener is not None:
-                        listener.on_local_store(
-                            frame.frame_id, ins.a, cycles,
-                            frame.fn.name, pc)
+                elif op == _SWL:
+                    buf_append(("lst", frame_id, ins[1], cycles,
+                                fn_name, pc))
+                    if len(buf) >= _FLUSH_AT:
+                        on_mem_batch(buf)
+                        buf.clear()
                     pc += 1
-                elif op == Op.EOI:
-                    if listener is not None:
-                        listener.on_eoi(ins.a, cycles)
+                elif op == _EOI:
+                    if buf:
+                        on_mem_batch(buf)
+                        buf.clear()
+                    listener.on_eoi(ins[1], cycles)
                     pc += 1
-                elif op == Op.SLOOP:
-                    if listener is not None:
-                        listener.on_sloop(ins.a, ins.b, cycles,
-                                          frame.frame_id)
+                elif op == _SLOOP:
+                    if buf:
+                        on_mem_batch(buf)
+                        buf.clear()
+                    listener.on_sloop(ins[1], ins[2], cycles, frame_id)
                     pc += 1
-                elif op == Op.ELOOP:
-                    if listener is not None:
-                        listener.on_eloop(ins.a, cycles)
+                elif op == _ELOOP:
+                    if buf:
+                        on_mem_batch(buf)
+                        buf.clear()
+                    listener.on_eloop(ins[1], cycles)
                     pc += 1
-                elif op == Op.READSTATS:
-                    if listener is not None:
-                        listener.on_readstats(ins.a, cycles)
+                elif op == _READSTATS:
+                    if buf:
+                        on_mem_batch(buf)
+                        buf.clear()
+                    listener.on_readstats(ins[1], cycles)
                     pc += 1
-                elif op == Op.PRINT:
-                    printed.append(slots[ins.a])
+                elif op == _PRINT:
+                    printed.append(slots[ins[1]])
                     pc += 1
-                elif op == Op.NOP:
+                elif op == _NOP:
                     pc += 1
                 else:  # pragma: no cover - exhaustive
                     raise ExecutionError(
-                        "unknown opcode %r" % op, pc, frame.fn.name)
+                        "unknown opcode %r" % op, pc, fn_name)
+        finally:
+            # deliver events observed before an abnormal exit
+            if buf:
+                on_mem_batch(buf)
+                buf.clear()
 
 
 def run_program(program: Program,

@@ -282,6 +282,74 @@ class TestDevice(TraceListener):
         self.n_local_stores += 1
         self.local_ts.record(frame_id, slot, cycle)
 
+    def on_mem_batch(self, events):
+        """Process one interpreter memory-event batch.
+
+        Inlines the four per-event handlers with the table accessors
+        hoisted; the activation stack cannot change mid-batch because
+        the interpreter flushes before every loop marker.
+        """
+        stack = self._stack
+        heap_lookup = self.heap_ts.lookup
+        heap_record = self.heap_ts.record
+        ld_lookup = self.ld_line_ts.lookup
+        ld_record = self.ld_line_ts.record
+        st_lookup = self.st_line_ts.lookup
+        st_record = self.st_line_ts.record
+        local_lookup = self.local_ts.lookup
+        local_record = self.local_ts.record
+        n_loads = n_stores = n_local_loads = n_local_stores = 0
+        for ev in events:
+            kind = ev[0]
+            if kind == "ld":
+                n_loads += 1
+                address = ev[1]
+                cycle = ev[2]
+                store_ts = heap_lookup(address)
+                line = line_of(address)
+                old_line = ld_lookup(line)
+                for act in stack:
+                    bank = act.bank
+                    if bank is not None:
+                        bank.observe_load(store_ts, cycle, False,
+                                          ev[3], ev[4])
+                        bank.observe_line_load(old_line)
+                ld_record(line, cycle)
+            elif kind == "st":
+                n_stores += 1
+                address = ev[1]
+                cycle = ev[2]
+                line = line_of(address)
+                old_line = st_lookup(line)
+                for act in stack:
+                    bank = act.bank
+                    if bank is not None:
+                        bank.observe_line_store(old_line)
+                st_record(line, cycle)
+                heap_record(address, cycle)
+            elif kind == "lld":
+                n_local_loads += 1
+                frame_id = ev[1]
+                slot = ev[2]
+                ts = local_lookup(frame_id, slot)
+                if ts is None:
+                    continue
+                for act in stack:
+                    bank = act.bank
+                    if bank is None or act.frame_id != frame_id:
+                        continue
+                    if act.allowed_slots is not None \
+                            and slot not in act.allowed_slots:
+                        continue
+                    bank.observe_load(ts, ev[3], True, ev[4], ev[5])
+            else:
+                n_local_stores += 1
+                local_record(ev[1], ev[2], ev[3])
+        self.n_loads += n_loads
+        self.n_stores += n_stores
+        self.n_local_loads += n_local_loads
+        self.n_local_stores += n_local_stores
+
     # -- results ------------------------------------------------------------
 
     def finish(self) -> None:

@@ -26,6 +26,7 @@ orig_cycles``; contrast with the 3-25% of the hardware tracer
 from __future__ import annotations
 
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.runtime.events import TraceListener
 from repro.tracer.device import TestDevice
 
 
@@ -67,6 +68,11 @@ class SoftwareProfiler(TestDevice):
         self.overhead_cycles = 0
 
     # Each hook charges its modelled cost, then defers to the device.
+
+    #: the device's batch handler inlines the per-event hooks, which
+    #: would skip the overhead accounting below — take the base replay
+    #: path instead so every override fires
+    on_mem_batch = TraceListener.on_mem_batch
 
     def _depth(self) -> int:
         return len(self._stack)

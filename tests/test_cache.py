@@ -1,0 +1,179 @@
+"""Tests for the pipeline artifact cache.
+
+Two properties matter: a cache hit must reproduce the cold run's
+numbers exactly, and mutating one key component must invalidate
+exactly the stages that depend on it — no more (wasted work), no less
+(stale results).
+"""
+
+import pytest
+
+from repro.hydra import HydraConfig
+from repro.jit.annotate import AnnotationLevel
+from repro.jrpm.cache import (
+    STAGE_ANNOTATE,
+    STAGE_COMPILE,
+    STAGE_PROFILE,
+    STAGE_SEQUENTIAL,
+    ArtifactCache,
+    cache_key,
+)
+from repro.jrpm.pipeline import Jrpm
+from repro.runtime.costs import CostModel
+from repro.workloads import get_workload
+
+REPORT_FIELDS = [
+    "sequential_cycles", "profiling_slowdown", "predicted_speedup",
+    "actual_speedup", "coverage",
+]
+
+
+def _run(cache=None, name="IDEA", **kwargs):
+    w = get_workload(name)
+    return Jrpm(source=w.source(), name=w.name, cache=cache,
+                **kwargs).run(simulate_tls=True)
+
+
+def _misses_of(cache, before):
+    return {s: cache.misses.get(s, 0) - before.get(s, 0)
+            for s in set(cache.misses) | set(before)
+            if cache.misses.get(s, 0) != before.get(s, 0)}
+
+
+class TestHitCorrectness:
+    def test_warm_run_equals_cold_run(self):
+        baseline = _run()  # no cache at all
+        cache = ArtifactCache()
+        cold = _run(cache)
+        warm = _run(cache)
+        for field in REPORT_FIELDS:
+            assert getattr(baseline, field) == getattr(cold, field)
+            assert getattr(cold, field) == getattr(warm, field), field
+        assert warm.outcome.actual_speedup == cold.outcome.actual_speedup
+        assert cache.misses == {s: 1 for s in (
+            STAGE_COMPILE, STAGE_ANNOTATE, STAGE_SEQUENTIAL,
+            STAGE_PROFILE)}
+        assert cache.hits == {s: 1 for s in (
+            STAGE_COMPILE, STAGE_ANNOTATE, STAGE_SEQUENTIAL,
+            STAGE_PROFILE)}
+
+    def test_runtime_patching_does_not_leak_into_cache(self):
+        # a low convergence threshold makes the profiled run patch
+        # READSTATS sites in the annotated program; the cached annotate
+        # artifact must stay pristine, so a warm profile re-run (fresh
+        # threshold -> profile miss, annotate hit) matches a cold one
+        cache = ArtifactCache()
+        cold = _run(cache, name="BitOps", convergence_threshold=200)
+        fresh = _run(name="BitOps", convergence_threshold=150)
+        warm = _run(cache, name="BitOps", convergence_threshold=150)
+        assert cache.hits[STAGE_ANNOTATE] == 1
+        assert cache.misses[STAGE_PROFILE] == 2
+        for field in REPORT_FIELDS:
+            assert getattr(warm, field) == getattr(fresh, field), field
+        assert cold.profiling_slowdown != 1.0  # sanity: it profiled
+
+    def test_fetched_artifacts_are_fresh_copies(self):
+        cache = ArtifactCache()
+        first = _run(cache)
+        second = _run(cache)
+        assert first.program is not second.program
+        assert first.device is not second.device
+        assert first.annotated.program is not second.annotated.program
+
+
+class TestStageInvalidation:
+    def test_source_invalidates_everything(self):
+        cache = ArtifactCache()
+        _run(cache, name="IDEA")
+        before = dict(cache.misses)
+        _run(cache, name="monteCarlo")
+        assert set(_misses_of(cache, before)) == {
+            STAGE_COMPILE, STAGE_ANNOTATE, STAGE_SEQUENTIAL,
+            STAGE_PROFILE}
+
+    def test_level_invalidates_annotate_and_profile(self):
+        cache = ArtifactCache()
+        _run(cache)
+        before = dict(cache.misses)
+        _run(cache, level=AnnotationLevel.BASE)
+        assert set(_misses_of(cache, before)) == {
+            STAGE_ANNOTATE, STAGE_PROFILE}
+
+    def test_cost_model_invalidates_runs_not_compile(self):
+        cache = ArtifactCache()
+        _run(cache)
+        before = dict(cache.misses)
+        pricier = CostModel()
+        pricier.op_costs = dict(pricier.op_costs)
+        first_op = next(iter(pricier.op_costs))
+        pricier.op_costs[first_op] += 1
+        _run(cache, cost_model=pricier)
+        assert set(_misses_of(cache, before)) == {
+            STAGE_SEQUENTIAL, STAGE_PROFILE}
+
+    def test_device_geometry_invalidates_profile_only(self):
+        cache = ArtifactCache()
+        _run(cache)
+        before = dict(cache.misses)
+        _run(cache, config=HydraConfig(heap_ts_fifo_lines=4))
+        assert set(_misses_of(cache, before)) == {STAGE_PROFILE}
+
+    def test_convergence_threshold_invalidates_profile_only(self):
+        cache = ArtifactCache()
+        _run(cache)
+        before = dict(cache.misses)
+        _run(cache, convergence_threshold=500)
+        assert set(_misses_of(cache, before)) == {STAGE_PROFILE}
+
+    def test_selection_only_knobs_keep_the_profile(self):
+        # n_cpus and the Table 2 overheads feed Equation 2 / the TLS
+        # replay, not trace collection: everything should hit
+        cache = ArtifactCache()
+        base = _run(cache)
+        before = dict(cache.misses)
+        other = _run(cache, config=HydraConfig(
+            n_cpus=8, violation_restart_overhead=100))
+        assert _misses_of(cache, before) == {}
+        # and the knob still took effect downstream
+        assert other.selection is not base.selection
+
+
+class TestBlobStore:
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        first = ArtifactCache(directory=str(tmp_path))
+        cold = _run(first)
+        second = ArtifactCache(directory=str(tmp_path))
+        warm = _run(second)
+        assert second.hit_count == 4 and second.miss_count == 0
+        for field in REPORT_FIELDS:
+            assert getattr(cold, field) == getattr(warm, field)
+
+    def test_memory_only_cache_has_no_files(self):
+        cache = ArtifactCache()
+        _run(cache)
+        assert cache.directory is None
+
+    def test_program_mode_bypasses_cache(self):
+        cache = ArtifactCache()
+        program = get_workload("IDEA").compile()
+        report = Jrpm(program=program, name="IDEA",
+                      cache=cache).run(simulate_tls=False)
+        assert report.sequential_cycles > 0
+        assert cache.hit_count == 0 and cache.miss_count == 0
+
+    def test_render_and_snapshot(self):
+        cache = ArtifactCache()
+        _run(cache)
+        text = cache.render()
+        for stage in (STAGE_COMPILE, STAGE_PROFILE):
+            assert stage in text
+        snap = cache.snapshot()
+        assert snap[STAGE_COMPILE] == {"hits": 0, "misses": 1}
+
+    def test_key_stability_and_sensitivity(self):
+        k1 = cache_key("compile", "src", False)
+        assert k1 == cache_key("compile", "src", False)
+        assert k1 != cache_key("compile", "src", True)
+        assert k1 != cache_key("annotate", "src", False)
+        with pytest.raises(TypeError):
+            cache_key("compile", object())

@@ -1,0 +1,139 @@
+"""Tests for the parallel fleet executor.
+
+The contract: jobs=N must be an implementation detail — rows come back
+in workload order with field-for-field the same numbers as the serial
+loop, and a crashing workload either aborts the fleet (on_error=
+"raise") or becomes an error row (on_error="row") without disturbing
+its neighbours.
+"""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.jrpm.batch import FleetErrorRow, FleetRow, run_fleet
+from repro.jrpm.cache import ArtifactCache
+from repro.jrpm.executor import FleetExecutor
+from repro.workloads import get_workload
+from repro.workloads.registry import Workload
+
+SAMPLE = ["IDEA", "monteCarlo", "raytrace"]
+
+#: every Table 6 / figure column a FleetRow exposes
+ROW_FIELDS = [
+    "name", "loop_count", "dynamic_depth", "selected_count",
+    "avg_selected_height", "threads_per_entry", "thread_size",
+    "slowdown", "coverage", "predicted_speedup", "actual_speedup",
+]
+
+BROKEN = Workload(
+    name="broken", category="synthetic",
+    description="fails in the parser, for failure-isolation tests",
+    source_text="func main( {")
+
+
+@pytest.fixture(scope="module")
+def sample_workloads():
+    return [get_workload(n) for n in SAMPLE]
+
+
+@pytest.fixture(scope="module")
+def serial(sample_workloads):
+    return run_fleet(sample_workloads, simulate_tls=True)
+
+
+class TestParallelMatchesSerial:
+    def test_rows_field_by_field(self, sample_workloads, serial,
+                                 tmp_path_factory):
+        cache = ArtifactCache(
+            directory=str(tmp_path_factory.mktemp("fleet-cache")))
+        parallel = run_fleet(sample_workloads, simulate_tls=True,
+                             jobs=2, cache=cache)
+        assert len(parallel) == len(serial)
+        for s_row, p_row in zip(serial, parallel):
+            for field in ROW_FIELDS:
+                assert getattr(s_row, field) == getattr(p_row, field), \
+                    field
+
+    def test_order_is_workload_order_not_completion_order(
+            self, sample_workloads):
+        # reversed submission must still yield reversed (i.e. given)
+        # order, whatever finishes first
+        flipped = list(reversed(sample_workloads))
+        result = run_fleet(flipped, simulate_tls=False, jobs=2)
+        assert [r.name for r in result] == list(reversed(SAMPLE))
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(jobs=0)
+
+    def test_parallel_memory_cache_rejected(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(jobs=2, cache=ArtifactCache())
+
+
+class TestFailureIsolation:
+    def test_serial_raise_default(self, sample_workloads):
+        with pytest.raises(Exception):
+            run_fleet([BROKEN] + sample_workloads, simulate_tls=False)
+
+    def test_serial_error_row(self, sample_workloads):
+        result = run_fleet([sample_workloads[0], BROKEN,
+                            sample_workloads[1]],
+                           simulate_tls=False, on_error="row")
+        assert [type(r) for r in result.rows] == [
+            FleetRow, FleetErrorRow, FleetRow]
+        assert [r.name for r in result] == [SAMPLE[0], "broken",
+                                            SAMPLE[1]]
+        bad = result.rows[1]
+        assert not bad.ok
+        assert bad.error
+        assert result.errors == [bad]
+        # aggregates cover the healthy rows only
+        assert result.median_slowdown > 1.0
+        assert "FAILED" in result.render()
+
+    def test_parallel_error_row(self, sample_workloads):
+        result = run_fleet([BROKEN, sample_workloads[0]],
+                           simulate_tls=False, jobs=2, on_error="row")
+        assert not result.rows[0].ok
+        assert result.rows[0].trace  # worker traceback shipped home
+        assert result.rows[1].ok
+
+    def test_parallel_raise(self, sample_workloads):
+        with pytest.raises(PipelineError):
+            run_fleet([BROKEN, sample_workloads[0]],
+                      simulate_tls=False, jobs=2, on_error="raise")
+
+    def test_invalid_on_error(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(on_error="ignore")
+
+
+class TestCacheStatsPlumbing:
+    def test_serial_stats_cover_this_run_only(self, sample_workloads):
+        cache = ArtifactCache()
+        first = run_fleet(sample_workloads[:2], simulate_tls=False,
+                          cache=cache)
+        assert first.cache_hits == 0
+        assert first.cache_misses == 8  # 2 workloads x 4 stages
+        second = run_fleet(sample_workloads[:2], simulate_tls=False,
+                           cache=cache)
+        # the delta, not the cache's lifetime counters
+        assert second.cache_hits == 8
+        assert second.cache_misses == 0
+
+    def test_parallel_stats_merged_from_workers(self, sample_workloads,
+                                                tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        cold = run_fleet(sample_workloads[:2], simulate_tls=False,
+                         jobs=2, cache=cache)
+        assert cold.cache_misses == 8
+        warm = run_fleet(sample_workloads[:2], simulate_tls=False,
+                         jobs=2, cache=cache)
+        assert warm.cache_hits == 8
+        assert warm.cache_misses == 0
+
+    def test_no_cache_no_stats(self, sample_workloads):
+        result = run_fleet(sample_workloads[:1], simulate_tls=False)
+        assert result.cache_stats == {}
+        assert result.cache_hits == 0

@@ -174,3 +174,115 @@ class TestInterpreter:
         res = run_program(compile_source(src))
         snapshot = res.heap.snapshot()
         assert list(snapshot.values()) == [[0, 0, 9]]
+
+
+class TestDispatchPaths:
+    """The interpreter has two specialized loops — no-listener and
+    traced — plus batched memory-event delivery.  They must agree with
+    each other on every observable."""
+
+    MEMORY_HEAVY = """
+    func main() {
+      var a = array(512);
+      var s = 0;
+      for (var r = 0; r < 8; r = r + 1) {
+        for (var i = 0; i < 512; i = i + 1) {
+          a[i] = (a[(i + 37) % 512] + r * i) % 9973;
+        }
+      }
+      for (var i = 0; i < 512; i = i + 1) { s = (s + a[i]) % 65536; }
+      return s;
+    }
+    """
+
+    def test_fast_and_traced_paths_agree(self):
+        program = compile_source(self.MEMORY_HEAVY)
+        fast = run_program(program)
+        rec = RecordingListener()
+        traced = run_program(program, listener=rec)
+        assert fast.return_value == traced.return_value
+        assert fast.cycles == traced.cycles
+        assert fast.instructions == traced.instructions
+        assert fast.heap.snapshot() == traced.heap.snapshot()
+        # enough events to cross several flush boundaries, in cycle order
+        assert len(rec.mem) > 2048
+        cycles = [e.cycle for e in rec.mem]
+        assert cycles == sorted(cycles)
+
+    def test_errors_agree_across_paths(self):
+        src = "func main() { var a = array(4); var i = 0; " \
+              "while (1) { a[i] = i; i = i + 1; } }"
+        program = compile_source(src)
+        with pytest.raises(ExecutionError) as fast_exc:
+            run_program(program)
+        with pytest.raises(ExecutionError) as traced_exc:
+            run_program(program, listener=RecordingListener())
+        assert str(fast_exc.value) == str(traced_exc.value)
+        assert "main" in str(fast_exc.value)
+
+    def test_events_before_error_are_flushed(self):
+        src = "func main() { var a = array(4); a[0] = 7; a[9] = 1; " \
+              "return 0; }"
+        rec = RecordingListener()
+        with pytest.raises(ExecutionError):
+            run_program(compile_source(src), listener=rec)
+        assert [e.kind for e in rec.mem] == ["st"]
+
+    def test_rerun_same_interpreter_instance(self):
+        from repro.runtime.interpreter import Interpreter
+        program = compile_source(self.MEMORY_HEAVY)
+        interp = Interpreter(program)
+        first = interp.run()
+        second = interp.run()
+        assert first.return_value == second.return_value
+        assert first.cycles == second.cycles
+
+
+class TestPatchCost:
+    MUL_LOOP = "func main() { var s = 1; " \
+               "for (var i = 0; i < 50; i = i + 1) " \
+               "{ s = (s * 3) % 1000003; } return s; }"
+
+    def _mul_site(self, program):
+        fn = program.functions["main"]
+        for pc, ins in enumerate(fn.code):
+            if ins.op == Op.BIN and ins.sub == int(BinOp.MUL):
+                return fn, pc
+        raise AssertionError("no MUL emitted")
+
+    def test_identity_repatch_keeps_cycles(self):
+        # re-pricing an instruction as itself must be a no-op; the old
+        # patch_cost dropped the sub operand, so a BIN MUL site fell
+        # from the 4-cycle multiply cost to the 1-cycle default
+        from repro.runtime.interpreter import Interpreter
+        program = compile_source(self.MUL_LOOP)
+        fn, pc = self._mul_site(program)
+        interp = Interpreter(program)
+        baseline = interp.run()
+        interp.patch_cost(fn.name, pc, fn.code[pc].op, fn.code[pc].sub)
+        assert interp.run().cycles == baseline.cycles
+
+    def test_patched_cost_uses_sub_opcode(self):
+        from repro.runtime.costs import DEFAULT_COSTS
+        from repro.runtime.interpreter import Interpreter
+        program = compile_source(self.MUL_LOOP)
+        fn, pc = self._mul_site(program)
+        interp = Interpreter(program)
+        interp.run()
+        interp.patch_cost(fn.name, pc, Op.BIN, int(BinOp.MUL))
+        priced = interp._cost_cache[fn.name][pc]
+        assert priced == DEFAULT_COSTS.bin_costs[BinOp.MUL]
+        assert priced != DEFAULT_COSTS.bin_costs[BinOp.ADD]
+
+    def test_patch_to_nop_changes_timing_and_decode(self):
+        from repro.bytecode.instructions import Instr
+        from repro.runtime.interpreter import Interpreter
+        program = compile_source(self.MUL_LOOP)
+        fn, pc = self._mul_site(program)
+        interp = Interpreter(program)
+        baseline = interp.run()
+        # emulate ProfilingRuntime: overwrite the site and re-price it
+        fn.code[pc] = Instr(Op.NOP)
+        interp.patch_cost(fn.name, pc, Op.NOP, fn.code[pc].sub)
+        patched = interp.run()
+        assert patched.cycles < baseline.cycles
