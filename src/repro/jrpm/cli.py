@@ -19,6 +19,7 @@ import sys
 from repro.jit.annotate import AnnotationLevel
 from repro.jrpm.pipeline import Jrpm
 from repro.jrpm.report import (
+    render_engine_stats,
     render_predicted_vs_actual,
     render_selection,
     render_summary,
@@ -157,6 +158,9 @@ def main(argv=None) -> int:
     if report.outcome is not None:
         print()
         print(render_predicted_vs_actual(report))
+    if report.engine is not None:
+        print()
+        print(render_engine_stats(report))
     if args.extended:
         print()
         for sel in report.selection.selected[:3]:

@@ -45,8 +45,13 @@ from repro.jrpm.runtime import ProfilingRuntime
 from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 from repro.lang.codegen import compile_source
 from repro.runtime.costs import DEFAULT_COSTS, CostModel
-from repro.runtime.events import MulticastListener, RecordingListener
+from repro.runtime.events import (
+    ColumnarRecording,
+    MulticastListener,
+    RecordingListener,
+)
 from repro.runtime.interpreter import Interpreter, RunResult, run_program
+from repro.tls.engine import TraceEngine
 from repro.tls.simulator import TLSResult, simulate_stl
 from repro.tls.stats import ProgramTLSOutcome
 from repro.tls.thread_trace import split_trace
@@ -71,6 +76,12 @@ class JrpmReport:
         self.compilations: Dict[int, STLCompilation] = {}
         self.tls_results: Dict[int, TLSResult] = {}
         self.outcome: Optional[ProgramTLSOutcome] = None
+        #: the recorded event trace of the profiled run (columnar by
+        #: default); sweeps can replay it without re-profiling
+        self.recording = None
+        #: the trace engine the TLS replay ran through (None when the
+        #: legacy row recording was used or TLS was skipped)
+        self.engine: Optional[TraceEngine] = None
 
     # -- headline numbers -------------------------------------------------
 
@@ -109,7 +120,8 @@ class Jrpm:
                  min_speedup: float = 1.05,
                  convergence_threshold: int = 1000,
                  max_instructions: int = 200_000_000,
-                 cache: Optional[ArtifactCache] = None):
+                 cache: Optional[ArtifactCache] = None,
+                 columnar: bool = True):
         if (source is None) == (program is None):
             raise PipelineError(
                 "provide exactly one of source= or program=")
@@ -131,6 +143,11 @@ class Jrpm:
         #: dynamically (Section 5.2); None profiles the whole run
         self.convergence_threshold = convergence_threshold
         self.max_instructions = max_instructions
+        #: record the profiled run into the columnar (SoA) trace layout
+        #: and run the TLS replay through the memoizing TraceEngine;
+        #: False falls back to the legacy row-of-tuples recording (kept
+        #: for equivalence testing)
+        self.columnar = columnar
 
     # -- stages ------------------------------------------------------------
 
@@ -193,14 +210,16 @@ class Jrpm:
         # stage 2: profiled run with TEST attached.  The key projects
         # the config onto the fields the device actually reads, so
         # selection-only knobs (n_cpus, Table 2 overheads) don't force
-        # a re-profile.
+        # a re-profile.  The trace layout is part of the key: columnar
+        # and row recordings are distinct artifacts.
         hit = False
         if cache is not None:
             pkey = cache_key(
                 STAGE_PROFILE, akey, cost_model,
                 profile_config_key(self.config),
                 self.convergence_threshold, self.extended,
-                self.max_instructions)
+                self.max_instructions,
+                "columnar" if self.columnar else "rows")
             hit, art = cache.fetch(STAGE_PROFILE, pkey)
         if hit:
             profiled, device, recording, counter = art
@@ -211,7 +230,8 @@ class Jrpm:
             device.convergence_threshold = self.convergence_threshold
             for lid, cand in annotated.annotated_loops.items():
                 device.register_loop_locals(lid, cand.tracked_locals)
-            recording = RecordingListener()
+            recording = ColumnarRecording() if self.columnar \
+                else RecordingListener()
             counter = AnnotationCounter()
             listener = MulticastListener([device, recording, counter])
             interp = Interpreter(
@@ -230,6 +250,7 @@ class Jrpm:
                             (profiled, device, recording, counter))
         report.profiled = profiled
         report.device = device
+        report.recording = recording
         report.slowdown = SlowdownBreakdown(
             report.sequential.cycles, report.profiled.cycles, counter)
 
@@ -247,17 +268,28 @@ class Jrpm:
             device, report.profiled.cycles, self.config,
             min_speedup=self.min_speedup)
 
-        # stages 4 + 5: speculative recompilation + TLS execution
+        # stages 4 + 5: speculative recompilation + TLS execution.
+        # Columnar recordings replay through the memoizing TraceEngine
+        # (zero-copy windows, kernels shared across every selected STL
+        # and across config sweeps against the same report).
         if simulate_tls:
+            engine = None
+            if isinstance(recording, ColumnarRecording):
+                engine = TraceEngine(recording)
+                report.engine = engine
             for sel in report.selection.selected:
                 cand = report.candidates.by_id.get(sel.loop_id)
                 if cand is None:
                     continue
                 comp = compile_stl(cand, self.config)
                 report.compilations[sel.loop_id] = comp
-                entries = split_trace(recording, sel.loop_id)
-                report.tls_results[sel.loop_id] = simulate_stl(
-                    comp, entries, self.config)
+                if engine is not None:
+                    report.tls_results[sel.loop_id] = engine.simulate(
+                        comp, self.config)
+                else:
+                    entries = split_trace(recording, sel.loop_id)
+                    report.tls_results[sel.loop_id] = simulate_stl(
+                        comp, entries, self.config)
             report.outcome = ProgramTLSOutcome(
                 report.selection, report.tls_results)
         return report

@@ -64,6 +64,14 @@ def render_predicted_vs_actual(report: JrpmReport) -> str:
     return "\n".join(lines)
 
 
+def render_engine_stats(report: JrpmReport) -> str:
+    """Trace-engine observability block: per-phase wall-clock and
+    kernel memo hit/miss counters of the TLS replay."""
+    if report.engine is None:
+        return "(trace engine was not used)"
+    return "trace engine\n" + report.engine.stats.render()
+
+
 def render_characteristics_row(report: JrpmReport) -> str:
     """This program's row of Table 6 (TEST analysis columns)."""
     table = report.candidates

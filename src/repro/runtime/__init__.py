@@ -7,6 +7,7 @@ sequentially (stage 2 of the Jrpm pipeline, Figure 1 of the paper).
 from repro.runtime.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.events import (
     LOCAL_ADDRESS_BASE,
+    ColumnarRecording,
     LoopMark,
     MemEvent,
     MulticastListener,
@@ -18,6 +19,7 @@ from repro.runtime.heap import LINE_SIZE, WORD_SIZE, Heap, line_of
 from repro.runtime.interpreter import Interpreter, RunResult, run_program
 
 __all__ = [
+    "ColumnarRecording",
     "CostModel",
     "DEFAULT_COSTS",
     "Heap",

@@ -14,7 +14,8 @@ are identified by ``(frame_id, slot)`` so recursion never aliases.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+from array import array
+from typing import Iterator, List, NamedTuple, Optional
 
 
 class TraceListener:
@@ -165,6 +166,111 @@ class RecordingListener(TraceListener):
             else:
                 append(MemEvent(
                     ev[3], kind, local_address(ev[1], ev[2])))
+
+    def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "sloop", loop_id))
+            self.sloop_frames.append(frame_id)
+
+    def on_eoi(self, loop_id: int, cycle: int) -> None:
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "eoi", loop_id))
+
+    def on_eloop(self, loop_id: int, cycle: int) -> None:
+        if self._want(loop_id):
+            self.marks.append(LoopMark(cycle, "eloop", loop_id))
+
+
+#: integer kind codes of the columnar trace layout (one byte per event)
+KIND_LD, KIND_ST, KIND_LLD, KIND_LST = 0, 1, 2, 3
+KIND_NAMES = ("ld", "st", "lld", "lst")
+
+
+class ColumnarRecording(TraceListener):
+    """Structure-of-arrays recording of the full event stream.
+
+    Instead of one :class:`MemEvent` tuple per access, events land in
+    three parallel flat columns fed directly from the interpreter's
+    batched delivery:
+
+    * ``kinds`` — one byte per event (:data:`KIND_LD` .. ``KIND_LST``);
+    * ``cycles`` — ``array('q')`` of completion timestamps;
+    * ``addresses`` — ``array('q')`` of byte addresses (locals use the
+      synthetic :func:`local_address` space).
+
+    The interpreter's cycle counter only ever increases, so ``cycles``
+    is sorted by construction: it doubles as the shared cycle index the
+    trace splitter bisects, with no per-call rebuild and no per-thread
+    event materialization (see :mod:`repro.tls.thread_trace`).
+
+    Loop marks stay row-shaped (:class:`LoopMark`); they are three
+    orders of magnitude rarer than memory events.
+    """
+
+    def __init__(self, loop_filter: Optional[int] = None):
+        self.kinds = bytearray()
+        self.cycles = array("q")
+        self.addresses = array("q")
+        self.marks: List[LoopMark] = []
+        #: frame id of each recorded sloop mark, in order
+        self.sloop_frames: List[int] = []
+        self._loop_filter = loop_filter
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def events(self) -> Iterator[MemEvent]:
+        """Row view of the columns (tests / debugging; not a hot path)."""
+        names = KIND_NAMES
+        for i in range(len(self.kinds)):
+            yield MemEvent(self.cycles[i], names[self.kinds[i]],
+                           self.addresses[i])
+
+    # -- memory events ---------------------------------------------------
+
+    def on_load(self, address, cycle, fn="", pc=-1):
+        self.kinds.append(KIND_LD)
+        self.cycles.append(cycle)
+        self.addresses.append(address)
+
+    def on_store(self, address, cycle, fn="", pc=-1):
+        self.kinds.append(KIND_ST)
+        self.cycles.append(cycle)
+        self.addresses.append(address)
+
+    def on_local_load(self, frame_id, slot, cycle, fn="", pc=-1):
+        self.kinds.append(KIND_LLD)
+        self.cycles.append(cycle)
+        self.addresses.append(local_address(frame_id, slot))
+
+    def on_local_store(self, frame_id, slot, cycle, fn="", pc=-1):
+        self.kinds.append(KIND_LST)
+        self.cycles.append(cycle)
+        self.addresses.append(local_address(frame_id, slot))
+
+    def on_mem_batch(self, events):
+        kinds_append = self.kinds.append
+        cycles_append = self.cycles.append
+        addr_append = self.addresses.append
+        for ev in events:
+            kind = ev[0]
+            if kind == "ld":
+                kinds_append(KIND_LD)
+                cycles_append(ev[2])
+                addr_append(ev[1])
+            elif kind == "st":
+                kinds_append(KIND_ST)
+                cycles_append(ev[2])
+                addr_append(ev[1])
+            else:
+                kinds_append(KIND_LLD if kind == "lld" else KIND_LST)
+                cycles_append(ev[3])
+                addr_append(local_address(ev[1], ev[2]))
+
+    # -- loop marks ------------------------------------------------------
+
+    def _want(self, loop_id: int) -> bool:
+        return self._loop_filter is None or loop_id == self._loop_filter
 
     def on_sloop(self, loop_id, n_locals, cycle, frame_id=-1):
         if self._want(loop_id):

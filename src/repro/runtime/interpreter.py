@@ -24,6 +24,15 @@ Design notes
   :meth:`~repro.runtime.events.TraceListener.on_mem_batch` and flushed
   before every loop marker, so per-event Python call overhead is paid
   once per batch instead of once per access.
+* The cycle counter only ever increases, so the event stream (and each
+  batch) is emitted in non-decreasing cycle order.  The columnar trace
+  engine depends on this invariant: ``ColumnarRecording`` appends
+  batches straight into flat columns and the cycles column is sorted by
+  construction, which is what lets thread windowing bisect it without
+  building a separate index.  Because batches are flushed before every
+  loop marker, a whole batch also belongs to one stable activation
+  stack — listeners may hoist per-activation state out of the per-event
+  loop.
 * ``max_instructions`` bounds runaway programs with a clear error.
 """
 
@@ -297,6 +306,7 @@ class Interpreter:
         heap_store = heap.store
         heap_address = heap.address
         on_mem_batch = listener.on_mem_batch
+        flush_at = _FLUSH_AT
 
         # one ordered buffer for heap AND local memory events; flushed
         # before every loop marker so listeners observe the exact event
@@ -342,7 +352,7 @@ class Interpreter:
                     buf_append(("ld",
                                 heap_address(slots[ins[2]], slots[ins[3]]),
                                 cycles, fn_name, pc))
-                    if len(buf) >= _FLUSH_AT:
+                    if len(buf) >= flush_at:
                         on_mem_batch(buf)
                         buf.clear()
                     pc += 1
@@ -356,7 +366,7 @@ class Interpreter:
                     buf_append(("st",
                                 heap_address(slots[ins[1]], slots[ins[2]]),
                                 cycles, fn_name, pc))
-                    if len(buf) >= _FLUSH_AT:
+                    if len(buf) >= flush_at:
                         on_mem_batch(buf)
                         buf.clear()
                     pc += 1
@@ -425,14 +435,14 @@ class Interpreter:
                 elif op == _LWL:
                     buf_append(("lld", frame_id, ins[1], cycles,
                                 fn_name, pc))
-                    if len(buf) >= _FLUSH_AT:
+                    if len(buf) >= flush_at:
                         on_mem_batch(buf)
                         buf.clear()
                     pc += 1
                 elif op == _SWL:
                     buf_append(("lst", frame_id, ins[1], cycles,
                                 fn_name, pc))
-                    if len(buf) >= _FLUSH_AT:
+                    if len(buf) >= flush_at:
                         on_mem_batch(buf)
                         buf.clear()
                     pc += 1

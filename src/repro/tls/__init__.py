@@ -2,6 +2,7 @@
 by actually scheduling the selected STLs' threads on the Hydra model
 (the "Actual" series of Figure 11)."""
 
+from repro.tls.engine import TraceEngine, TraceEngineStats
 from repro.tls.simulator import (
     EntryResult,
     TLSResult,
@@ -13,6 +14,7 @@ from repro.tls.thread_trace import (
     EntryTrace,
     ThreadEvent,
     ThreadTrace,
+    ThreadView,
     local_frame_of,
     local_slot_of,
     split_trace,
@@ -26,6 +28,9 @@ __all__ = [
     "TLSSimulator",
     "ThreadEvent",
     "ThreadTrace",
+    "ThreadView",
+    "TraceEngine",
+    "TraceEngineStats",
     "local_frame_of",
     "local_slot_of",
     "simulate_stl",

@@ -19,7 +19,9 @@ compilation summary, the simulator schedules the threads over the CMP's
 * per-thread speculative state is tracked in a true 4-way LRU model of
   the L1 read state and a fully associative store-buffer model; when a
   thread overflows, it stalls at the overflow point until it becomes the
-  head (non-speculative) thread;
+  head (non-speculative) thread — stores after the overflow point drain
+  only once the thread resumes, and are published at those drained
+  times;
 * threads commit in order; loop startup/shutdown and per-thread EOI
   overheads from Table 2 are charged.
 
@@ -27,6 +29,21 @@ Because the estimator works from *averaged* statistics while this
 simulator replays the *actual* per-iteration behaviour (thread-size
 variance, real violation timing, associativity), their disagreement
 reproduces the imprecision effects of Section 6.2.
+
+Per-thread analysis is factored into two pure kernels so the columnar
+:class:`~repro.tls.engine.TraceEngine` can memoize them across
+configuration sweeps:
+
+* :func:`prepare_thread` / :func:`prepare_view` — classification: drop
+  compiler-eliminated locals, pre-resolve own-store forwarding, and
+  project the heap event sequence.  Depends only on the thread's events
+  and the compilation's eliminated-slot sets.
+* :func:`overflow_point` — first speculative-buffer overflow of the
+  prepared heap sequence.  Depends only on the Table 1 buffer geometry
+  (``load_buffer_lines``, ``load_buffer_assoc``, ``store_buffer_lines``).
+
+Everything else (dependency resolution, scheduling) is cheap per config
+and re-runs on every sweep point.
 """
 
 from __future__ import annotations
@@ -37,11 +54,13 @@ from repro.errors import SimulationError
 from repro.hydra.cache import FullyAssocBuffer, SetAssocCache
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
 from repro.jit.speculative import STLCompilation
+from repro.runtime.events import KIND_LD, KIND_LLD, KIND_LST, KIND_ST
 from repro.runtime.heap import line_of
 from repro.tls.thread_trace import (
+    LOCAL_ADDRESS_BASE,
     EntryTrace,
     ThreadTrace,
-    local_frame_of,
+    ThreadView,
     local_slot_of,
 )
 
@@ -99,31 +118,163 @@ class TLSResult:
                    self.overflows))
 
 
+#: classification kernel output: own-filtered dependency loads, stores
+#: in program order, and the heap event projection — each entry is
+#: (rel, address, is_local) for the first two and (rel, is_store, line)
+#: for the third.  Tuples so memoized values are immutable.
+PreparedEvents = Tuple[Tuple[Tuple[int, int, bool], ...],
+                       Tuple[Tuple[int, int, bool], ...],
+                       Tuple[Tuple[int, bool, int], ...]]
+
+
+def elimination_key(compilation: STLCompilation) -> frozenset:
+    """The slots classification actually reads from a compilation:
+    eliminated (inductors/reductions) plus register-allocated
+    invariants.  Identical across configuration sweeps of one STL, so
+    it doubles as the memo-key projection (the same trick the pipeline
+    :class:`~repro.jrpm.cache.ArtifactCache` plays with
+    ``profile_config_key``)."""
+    return compilation.eliminated_slots | compilation.invariant_slots
+
+
+def prepare_thread(events, eliminated: frozenset) -> PreparedEvents:
+    """Classify one row-shaped thread (list of ``(rel, kind, addr)``).
+
+    Drops compiler-eliminated local accesses, resolves own-store
+    forwarding (a load preceded by this thread's own store to the same
+    address never leaves the store buffer), and projects the heap event
+    sequence for the overflow model.
+    """
+    dep_loads: List[Tuple[int, int, bool]] = []
+    stores: List[Tuple[int, int, bool]] = []
+    heap_seq: List[Tuple[int, bool, int]] = []
+    own = set()
+    for rel, kind, addr in events:
+        if kind == "ld":
+            heap_seq.append((rel, False, line_of(addr)))
+            if addr not in own:
+                dep_loads.append((rel, addr, False))
+        elif kind == "st":
+            heap_seq.append((rel, True, line_of(addr)))
+            stores.append((rel, addr, False))
+            own.add(addr)
+        else:
+            slot = local_slot_of(addr)
+            if slot is None or slot in eliminated:
+                continue
+            if kind == "lld":
+                if addr not in own:
+                    dep_loads.append((rel, addr, True))
+            else:
+                stores.append((rel, addr, True))
+                own.add(addr)
+    return tuple(dep_loads), tuple(stores), tuple(heap_seq)
+
+
+def prepare_view(view: ThreadView, eliminated: frozenset
+                 ) -> PreparedEvents:
+    """Classify one columnar thread window, reading the shared columns
+    directly — no per-event tuple or string materialization."""
+    rec = view.recording
+    kinds, cycles, addrs = rec.kinds, rec.cycles, rec.addresses
+    start = view.start
+    dep_loads: List[Tuple[int, int, bool]] = []
+    stores: List[Tuple[int, int, bool]] = []
+    heap_seq: List[Tuple[int, bool, int]] = []
+    own = set()
+    for i in range(view.lo, view.hi):
+        kind = kinds[i]
+        addr = addrs[i]
+        rel = cycles[i] - start
+        if kind == KIND_LD:
+            heap_seq.append((rel, False, line_of(addr)))
+            if addr not in own:
+                dep_loads.append((rel, addr, False))
+        elif kind == KIND_ST:
+            heap_seq.append((rel, True, line_of(addr)))
+            stores.append((rel, addr, False))
+            own.add(addr)
+        else:
+            if addr < LOCAL_ADDRESS_BASE:
+                continue
+            if ((addr & 0xFFFF) >> 2) in eliminated:
+                continue
+            if kind == KIND_LLD:
+                if addr not in own:
+                    dep_loads.append((rel, addr, True))
+            else:
+                stores.append((rel, addr, True))
+                own.add(addr)
+    return tuple(dep_loads), tuple(stores), tuple(heap_seq)
+
+
+def overflow_point(heap_seq, config: HydraConfig) -> Optional[int]:
+    """Thread-relative cycle of the first speculative-buffer overflow,
+    if any (true associativity modelled)."""
+    cache = SetAssocCache(config.load_buffer_lines,
+                          config.load_buffer_assoc)
+    store_buf = FullyAssocBuffer(config.store_buffer_lines)
+    cache_touch = cache.touch
+    store_touch = store_buf.touch
+    for rel, is_store, line in heap_seq:
+        if is_store:
+            if store_touch(line):
+                return rel
+        elif cache_touch(line):
+            return rel
+    return None
+
+
 class TLSSimulator:
-    """Schedules one STL's thread traces onto the speculative CMP."""
+    """Schedules one STL's thread traces onto the speculative CMP.
+
+    With ``engine`` attached (a :class:`~repro.tls.engine.TraceEngine`
+    over the columnar recording the entries were split from), the
+    per-thread classification and overflow kernels are memoized across
+    simulator instances — i.e. across the configurations of a sweep.
+    """
 
     def __init__(self, compilation: STLCompilation,
-                 config: HydraConfig = DEFAULT_HYDRA):
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 engine=None):
         self.compilation = compilation
         self.config = config
+        self.engine = engine
+        self._eliminated = elimination_key(compilation)
 
     # -- public API ----------------------------------------------------------
 
     def simulate(self, entries: List[EntryTrace]) -> TLSResult:
         """Simulate every entry of the STL."""
         result = TLSResult(self.compilation.loop_id)
-        for entry in entries:
-            result.add(self.simulate_entry(entry))
+        engine = self.engine
+        if engine is None:
+            for entry in entries:
+                result.add(self.simulate_entry(entry))
+            return result
+        with engine.stats.timed_exclusive("resolve"):
+            for entry in entries:
+                result.add(self.simulate_entry(entry))
         return result
 
     def simulate_entry(self, entry: EntryTrace) -> EntryResult:
         cfg = self.config
-        comp = self.compilation
         p = cfg.n_cpus
         threads = entry.threads
         n = len(threads)
         if n == 0:
             return EntryResult(0, entry.total_cycles, 0, 0, 0)
+
+        engine = self.engine
+        eliminated = self._eliminated
+        if engine is not None and type(threads[0]) is ThreadView:
+            loop_id = self.compilation.loop_id
+            prepared = engine.prepare_entry(loop_id, entry, eliminated)
+            overflow_ats = engine.overflow_entry(
+                loop_id, entry, prepared, cfg)
+        else:
+            prepared = [self._prepare_local(t) for t in threads]
+            overflow_ats = [overflow_point(p[2], cfg) for p in prepared]
 
         #: address -> (producer thread index, absolute store time, local?)
         last_store: Dict[int, Tuple[int, int, bool]] = {}
@@ -135,17 +286,19 @@ class TLSSimulator:
         overflows = 0
 
         for j, thread in enumerate(threads):
-            classified = self._classify_events(thread, entry.frame_id)
+            dep_loads, stores, heap_seq = prepared[j]
+            overflow_at = overflow_ats[j]
+
             base = max(cpu_free[j % p], prev_start)
             if j == 0:
                 base = max(base, clock0)
             start, restarts = self._resolve_start(
-                base, classified, last_store, j)
+                base, dep_loads, last_store, j)
             violations += restarts
 
-            overflow_at = self._overflow_point(classified)
             eoi = cfg.eoi_overhead
             if overflow_at is None:
+                resume = start
                 finish = start + thread.size + eoi
             else:
                 overflows += 1
@@ -158,10 +311,17 @@ class TLSSimulator:
             cpu_free[j % p] = commit
             prev_start = start
 
-            # publish this thread's stores for later consumers
-            for rel, kind, addr, is_local in classified:
-                if kind == "st":
+            # publish this thread's stores for later consumers; stores
+            # issued after an overflow point only drain once the thread
+            # resumes as head, so their visible time shifts accordingly
+            if overflow_at is None:
+                for rel, addr, is_local in stores:
                     last_store[addr] = (j, start + rel, is_local)
+            else:
+                for rel, addr, is_local in stores:
+                    abs_time = (resume + (rel - overflow_at)
+                                if rel > overflow_at else start + rel)
+                    last_store[addr] = (j, abs_time, is_local)
 
         parallel = commit_prev + cfg.shutdown_overhead
         return EntryResult(parallel, entry.total_cycles,
@@ -169,29 +329,13 @@ class TLSSimulator:
 
     # -- internals ------------------------------------------------------------
 
-    def _classify_events(self, thread: ThreadTrace, frame_id: int
-                         ) -> List[Tuple[int, str, int, bool]]:
-        """Normalize events to (rel, 'ld'|'st', address, is_local),
-        dropping compiler-eliminated local accesses."""
-        comp = self.compilation
-        out: List[Tuple[int, str, int, bool]] = []
-        for rel, kind, addr in thread.events:
-            if kind == "ld":
-                out.append((rel, "ld", addr, False))
-            elif kind == "st":
-                out.append((rel, "st", addr, False))
-            else:
-                slot = local_slot_of(addr)
-                if slot is None:
-                    continue
-                if comp.is_eliminated_local(local_frame_of(addr), slot):
-                    continue
-                out.append((rel, "ld" if kind == "lld" else "st",
-                            addr, True))
-        return out
+    def _prepare_local(self, thread) -> PreparedEvents:
+        """Unmemoized classification for either thread layout."""
+        if type(thread) is ThreadView:
+            return prepare_view(thread, self._eliminated)
+        return prepare_thread(thread.events, self._eliminated)
 
-    def _resolve_start(self, base: int,
-                       events: List[Tuple[int, str, int, bool]],
+    def _resolve_start(self, base: int, dep_loads,
                        last_store: Dict[int, Tuple[int, int, bool]],
                        j: int) -> Tuple[int, int]:
         """Earliest start time satisfying all cross-thread dependencies,
@@ -201,17 +345,13 @@ class TLSSimulator:
         restarts = 0
         # constraints: (load rel, store abs time, is_local)
         constraints: List[Tuple[int, int, bool]] = []
-        own: set = set()
-        for rel, kind, addr, is_local in events:
-            if kind == "st":
-                own.add(addr)
-                continue
-            if addr in own:
-                continue  # forwarded from this thread's own store buffer
+        for rel, addr, is_local in dep_loads:
             prod = last_store.get(addr)
             if prod is None or prod[0] >= j:
                 continue
             constraints.append((rel, prod[1], is_local))
+        if not constraints:
+            return start, restarts
 
         synchronize_heap = self.compilation.synchronize_heap
         # forwarded locals — and, with the Section 6.3 synchronization
@@ -248,27 +388,10 @@ class TLSSimulator:
             start = min(violated) + cfg.violation_restart_overhead
         return start, restarts
 
-    def _overflow_point(self, events: List[Tuple[int, str, int, bool]]
-                        ) -> Optional[int]:
-        """Thread-relative cycle of the first speculative-buffer
-        overflow, if any (true associativity modelled)."""
-        cfg = self.config
-        cache = SetAssocCache(cfg.load_buffer_lines, cfg.load_buffer_assoc)
-        store_buf = FullyAssocBuffer(cfg.store_buffer_lines)
-        for rel, kind, addr, is_local in events:
-            if is_local:
-                continue  # locals live in registers / the stack frame
-            line = line_of(addr)
-            if kind == "ld":
-                if cache.touch(line):
-                    return rel
-            else:
-                if store_buf.touch(line):
-                    return rel
-        return None
-
 
 def simulate_stl(compilation: STLCompilation, entries: List[EntryTrace],
-                 config: HydraConfig = DEFAULT_HYDRA) -> TLSResult:
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 engine=None) -> TLSResult:
     """One-call wrapper: simulate all entries of one selected STL."""
-    return TLSSimulator(compilation, config).simulate(entries)
+    return TLSSimulator(compilation, config, engine=engine) \
+        .simulate(entries)

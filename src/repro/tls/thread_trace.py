@@ -2,20 +2,36 @@
 
 The TLS timing simulator is trace-driven (the same methodology as the
 limit studies the paper cites): the annotated program runs once
-sequentially with a :class:`~repro.runtime.events.RecordingListener`
-attached, and this module windows the event stream of one selected STL
-into *entries* and *threads* (= iterations), each with its cycle length
-and its memory/local events at thread-relative times.
+sequentially with a recording listener attached, and this module
+windows the event stream of one selected STL into *entries* and
+*threads* (= iterations), each with its cycle length and its
+memory/local events at thread-relative times.
+
+Two trace layouts are supported:
+
+* the columnar :class:`~repro.runtime.events.ColumnarRecording`
+  (structure-of-arrays): windowing is **zero-copy** — each thread is a
+  :class:`ThreadView` holding an index range into the shared columns,
+  and the sorted ``cycles`` column *is* the cycle index (the
+  interpreter's clock only increases), so no per-call index rebuild and
+  no per-thread event materialization happen at all;
+* the legacy row-of-tuples :class:`~repro.runtime.events.
+  RecordingListener`: threads materialize :class:`ThreadEvent` lists.
+  Its cycle index is built once per recording and cached (selection
+  simulates several STLs against the same recording), keyed by the
+  event count so a recording that keeps growing is re-indexed.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from typing import List, NamedTuple, Optional, Tuple
+from bisect import bisect_left
+from typing import List, NamedTuple, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.runtime.events import (
+    KIND_NAMES,
     LOCAL_ADDRESS_BASE,
+    ColumnarRecording,
     MemEvent,
     RecordingListener,
 )
@@ -30,7 +46,7 @@ class ThreadEvent(NamedTuple):
 
 
 class ThreadTrace:
-    """One speculative thread (one loop iteration)."""
+    """One speculative thread (one loop iteration), row layout."""
 
     __slots__ = ("size", "events")
 
@@ -44,12 +60,50 @@ class ThreadTrace:
             self.size, len(self.events))
 
 
+class ThreadView:
+    """One speculative thread as a zero-copy window over the columns.
+
+    Holds ``[lo, hi)`` indices into a :class:`ColumnarRecording` plus
+    the window's absolute start cycle; nothing is materialized until a
+    consumer asks for the row-shaped ``events`` (compatibility and
+    tests — the simulator kernels read the columns directly).
+    """
+
+    __slots__ = ("recording", "lo", "hi", "start", "size")
+
+    def __init__(self, recording: ColumnarRecording, lo: int, hi: int,
+                 start: int, size: int):
+        self.recording = recording
+        self.lo = lo
+        self.hi = hi
+        self.start = start
+        self.size = size
+
+    @property
+    def events(self) -> List[ThreadEvent]:
+        """Materialized row view (not a hot path)."""
+        rec = self.recording
+        kinds, cycles, addrs = rec.kinds, rec.cycles, rec.addresses
+        start = self.start
+        return [ThreadEvent(cycles[i] - start, KIND_NAMES[kinds[i]],
+                            addrs[i])
+                for i in range(self.lo, self.hi)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ThreadView [%d:%d) size=%d>" % (
+            self.lo, self.hi, self.size)
+
+
+#: either thread representation; the simulator accepts both
+AnyThread = Union[ThreadTrace, ThreadView]
+
+
 class EntryTrace:
     """One dynamic entry of the STL: an ordered list of threads."""
 
     __slots__ = ("threads", "total_cycles", "frame_id")
 
-    def __init__(self, threads: List[ThreadTrace], total_cycles: int,
+    def __init__(self, threads: List[AnyThread], total_cycles: int,
                  frame_id: int):
         self.threads = threads
         #: sequential cycles from sloop to eloop (includes the exit tail)
@@ -72,8 +126,22 @@ def local_frame_of(address: int) -> Optional[int]:
     return (address - LOCAL_ADDRESS_BASE) >> 16
 
 
-def split_trace(recording: RecordingListener, loop_id: int
-                ) -> List[EntryTrace]:
+def cycle_index(recording: RecordingListener) -> List[int]:
+    """The cached sorted cycle list of a row recording.
+
+    Built on first use and reused across every ``split_trace`` call
+    against the same recording; invalidated when more events arrive.
+    """
+    mem = recording.mem
+    cached = getattr(recording, "_cycle_index", None)
+    if cached is not None and cached[0] == len(mem):
+        return cached[1]
+    cycles = [e.cycle for e in mem]
+    recording._cycle_index = (len(mem), cycles)
+    return cycles
+
+
+def split_trace(recording, loop_id: int) -> List[EntryTrace]:
     """Window ``recording`` into the entry/thread traces of ``loop_id``.
 
     Thread boundaries follow the tracer's convention: a thread completes
@@ -81,9 +149,16 @@ def split_trace(recording: RecordingListener, loop_id: int
     the loop's exit evaluation and is appended to the last thread (it
     must execute *somewhere*; in compiled speculative code it is part of
     the final iteration).  Entries with no ``eoi`` become one thread.
+
+    Accepts both recording layouts; a :class:`ColumnarRecording` yields
+    zero-copy :class:`ThreadView` threads.
     """
-    mem = recording.mem
-    cycles = [e.cycle for e in mem]
+    if isinstance(recording, ColumnarRecording):
+        build = _build_entry_columnar
+        context = recording
+    else:
+        build = _build_entry_rows
+        context = (recording.mem, cycle_index(recording))
 
     entries: List[EntryTrace] = []
     open_start: Optional[int] = None
@@ -114,8 +189,8 @@ def split_trace(recording: RecordingListener, loop_id: int
             if open_start is None:
                 raise SimulationError(
                     "eloop without sloop for loop L%d" % loop_id)
-            entries.append(_build_entry(
-                mem, cycles, boundaries, mark.cycle, frame_id))
+            entries.append(build(
+                context, boundaries, mark.cycle, frame_id))
             open_start = None
     if open_start is not None:
         raise SimulationError(
@@ -123,25 +198,42 @@ def split_trace(recording: RecordingListener, loop_id: int
     return entries
 
 
-def _build_entry(mem: List[MemEvent], cycles: List[int],
-                 boundaries: List[int], end: int,
-                 frame_id: int) -> EntryTrace:
-    start = boundaries[0]
-    # thread windows: consecutive boundary pairs, final tail folded into
-    # the last thread
+def _thread_windows(boundaries: List[int], end: int
+                    ) -> List[Tuple[int, int]]:
+    """Per-thread [start, end) cycle windows of one entry."""
     if len(boundaries) == 1:
-        windows: List[Tuple[int, int]] = [(start, end)]
-    else:
-        windows = [(boundaries[i], boundaries[i + 1])
-                   for i in range(len(boundaries) - 1)]
-        windows[-1] = (windows[-1][0], end)
+        return [(boundaries[0], end)]
+    windows = [(boundaries[i], boundaries[i + 1])
+               for i in range(len(boundaries) - 1)]
+    windows[-1] = (windows[-1][0], end)
+    return windows
 
+
+def _build_entry_rows(context, boundaries: List[int], end: int,
+                      frame_id: int) -> EntryTrace:
+    mem, cycles = context
+    start = boundaries[0]
     threads: List[ThreadTrace] = []
-    for w_start, w_end in windows:
+    for w_start, w_end in _thread_windows(boundaries, end):
         lo = bisect_left(cycles, w_start)
         hi = bisect_left(cycles, w_end)
         events = [ThreadEvent(mem[i].cycle - w_start, mem[i].kind,
                               mem[i].address)
                   for i in range(lo, hi)]
         threads.append(ThreadTrace(w_end - w_start, events))
+    return EntryTrace(threads, end - start, frame_id)
+
+
+def _build_entry_columnar(recording: ColumnarRecording,
+                          boundaries: List[int], end: int,
+                          frame_id: int) -> EntryTrace:
+    cycles = recording.cycles  # sorted by the interpreter's clock
+    start = boundaries[0]
+    threads: List[ThreadView] = []
+    lo = bisect_left(cycles, start)
+    for w_start, w_end in _thread_windows(boundaries, end):
+        hi = bisect_left(cycles, w_end, lo)
+        threads.append(ThreadView(recording, lo, hi, w_start,
+                                  w_end - w_start))
+        lo = hi
     return EntryTrace(threads, end - start, frame_id)

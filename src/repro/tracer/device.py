@@ -287,9 +287,11 @@ class TestDevice(TraceListener):
 
         Inlines the four per-event handlers with the table accessors
         hoisted; the activation stack cannot change mid-batch because
-        the interpreter flushes before every loop marker.
+        the interpreter flushes before every loop marker — so the
+        banked-activation scan is also hoisted to once per batch
+        instead of once per event (converged/unbanked phases of a run
+        then skip the bank loops entirely).
         """
-        stack = self._stack
         heap_lookup = self.heap_ts.lookup
         heap_record = self.heap_ts.record
         ld_lookup = self.ld_line_ts.lookup
@@ -298,6 +300,7 @@ class TestDevice(TraceListener):
         st_record = self.st_line_ts.record
         local_lookup = self.local_ts.lookup
         local_record = self.local_ts.record
+        banked = [act for act in self._stack if act.bank is not None]
         n_loads = n_stores = n_local_loads = n_local_stores = 0
         for ev in events:
             kind = ev[0]
@@ -308,12 +311,11 @@ class TestDevice(TraceListener):
                 store_ts = heap_lookup(address)
                 line = line_of(address)
                 old_line = ld_lookup(line)
-                for act in stack:
+                for act in banked:
                     bank = act.bank
-                    if bank is not None:
-                        bank.observe_load(store_ts, cycle, False,
-                                          ev[3], ev[4])
-                        bank.observe_line_load(old_line)
+                    bank.observe_load(store_ts, cycle, False,
+                                      ev[3], ev[4])
+                    bank.observe_line_load(old_line)
                 ld_record(line, cycle)
             elif kind == "st":
                 n_stores += 1
@@ -321,10 +323,8 @@ class TestDevice(TraceListener):
                 cycle = ev[2]
                 line = line_of(address)
                 old_line = st_lookup(line)
-                for act in stack:
-                    bank = act.bank
-                    if bank is not None:
-                        bank.observe_line_store(old_line)
+                for act in banked:
+                    act.bank.observe_line_store(old_line)
                 st_record(line, cycle)
                 heap_record(address, cycle)
             elif kind == "lld":
@@ -334,14 +334,13 @@ class TestDevice(TraceListener):
                 ts = local_lookup(frame_id, slot)
                 if ts is None:
                     continue
-                for act in stack:
-                    bank = act.bank
-                    if bank is None or act.frame_id != frame_id:
+                for act in banked:
+                    if act.frame_id != frame_id:
                         continue
                     if act.allowed_slots is not None \
                             and slot not in act.allowed_slots:
                         continue
-                    bank.observe_load(ts, ev[3], True, ev[4], ev[5])
+                    act.bank.observe_load(ts, ev[3], True, ev[4], ev[5])
             else:
                 n_local_stores += 1
                 local_record(ev[1], ev[2], ev[3])
