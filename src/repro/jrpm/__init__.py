@@ -9,6 +9,7 @@ from repro.jrpm.batch import (
 )
 from repro.jrpm.cache import ArtifactCache
 from repro.jrpm.executor import FleetExecutor
+from repro.jrpm.faults import FaultPlan
 from repro.jrpm.pipeline import Jrpm, JrpmReport, run_pipeline
 from repro.jrpm.report import (
     render_characteristics_row,
@@ -21,6 +22,7 @@ from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 __all__ = [
     "AnnotationCounter",
     "ArtifactCache",
+    "FaultPlan",
     "FleetErrorRow",
     "FleetExecutor",
     "FleetResult",

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.errors import PipelineError
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
 from repro.jrpm.cache import ArtifactCache
+from repro.jrpm.faults import FaultPlan
 from repro.jrpm.pipeline import Jrpm, JrpmReport
 from repro.workloads.registry import Workload, all_workloads
 
@@ -47,11 +49,24 @@ class FleetRow:
 
     @property
     def avg_selected_height(self) -> float:
-        """1-based loop heights of significant STLs (column f)."""
+        """1-based loop heights of significant STLs (column f).
+
+        Every selected ``loop_id`` originates from the candidate
+        table, so a missing entry means the report is internally
+        inconsistent (e.g. a stale cache artifact); silently dropping
+        it would skew the Table 6 average, so it raises instead.
+        """
         table = self.report.candidates
-        heights = [table.by_id[s.loop_id].loop.height1()
+        missing = [s.loop_id
                    for s in self.report.selection.significant()
-                   if s.loop_id in table.by_id]
+                   if s.loop_id not in table.by_id]
+        if missing:
+            raise PipelineError(
+                "selection for %r references loop ids %r absent from "
+                "the candidate table — inconsistent report artifacts"
+                % (self.name, sorted(missing)))
+        heights = [table.by_id[s.loop_id].loop.height1()
+                   for s in self.report.selection.significant()]
         return sum(heights) / len(heights) if heights else 0.0
 
     def _weighted(self, value_fn) -> float:
@@ -104,12 +119,15 @@ class FleetErrorRow:
     ok = False
 
     def __init__(self, workload: Workload, error: str,
-                 trace: str = ""):
+                 trace: str = "", attempts: int = 1):
         self.workload = workload
         self.error = error
         #: the worker's formatted traceback (parallel runs cross a
         #: process boundary, so the original exception object is gone)
         self.trace = trace
+        #: attempts burned before giving up (1 = no retries configured
+        #: or the first failure was terminal)
+        self.attempts = attempts
 
     @property
     def name(self) -> str:
@@ -124,15 +142,20 @@ class FleetResult:
 
     ``rows`` preserves workload order and may mix :class:`FleetRow`
     with :class:`FleetErrorRow`; aggregates cover the successful rows.
-    ``cache_stats`` holds this run's artifact-cache hit/miss counters
-    as ``{stage: {"hits": n, "misses": n}}`` (empty without a cache).
+    ``cache_stats`` holds this run's artifact-cache counters as
+    ``{stage: {"hits": n, "misses": n, "corrupt": n}}`` (empty without
+    a cache); ``exec_stats`` holds the executor's fault counters
+    (``retries`` / ``timeouts`` / ``crashes``, all zero on a clean
+    run).
     """
 
     def __init__(self, rows: List[FleetRow],
-                 cache_stats: Optional[Dict[str, Dict[str, int]]] = None):
+                 cache_stats: Optional[Dict[str, Dict[str, int]]] = None,
+                 exec_stats: Optional[Dict[str, int]] = None):
         self.rows = rows
         self.by_name: Dict[str, FleetRow] = {r.name: r for r in rows}
         self.cache_stats = cache_stats or {}
+        self.exec_stats = exec_stats or {}
 
     def __iter__(self):
         return iter(self.rows)
@@ -155,6 +178,26 @@ class FleetResult:
     @property
     def cache_misses(self) -> int:
         return sum(c.get("misses", 0) for c in self.cache_stats.values())
+
+    @property
+    def cache_corrupt(self) -> int:
+        """Cache blobs quarantined as corrupt during this run."""
+        return sum(c.get("corrupt", 0) for c in self.cache_stats.values())
+
+    @property
+    def retry_count(self) -> int:
+        """Workload attempts that were retried (any failure kind)."""
+        return self.exec_stats.get("retries", 0)
+
+    @property
+    def timeout_count(self) -> int:
+        """Workload attempts abandoned at the wall-clock timeout."""
+        return self.exec_stats.get("timeouts", 0)
+
+    @property
+    def crash_count(self) -> int:
+        """Worker-pool breakages (a worker process died) survived."""
+        return self.exec_stats.get("crashes", 0)
 
     @property
     def median_slowdown(self) -> float:
@@ -200,6 +243,10 @@ def run_fleet(workloads: Optional[Iterable[Workload]] = None,
               jobs: int = 1,
               cache: Optional[ArtifactCache] = None,
               on_error: str = "raise",
+              timeout: Optional[float] = None,
+              retries: int = 0,
+              backoff: float = 0.25,
+              fault_plan: Optional[FaultPlan] = None,
               **jrpm_kwargs) -> FleetResult:
     """Run the pipeline over ``workloads`` (default: all 26).
 
@@ -212,10 +259,19 @@ def run_fleet(workloads: Optional[Iterable[Workload]] = None,
     workloads and sweeps (parallel runs need a disk-backed cache);
     ``on_error="row"`` turns a crashing workload into a
     :class:`FleetErrorRow` instead of aborting the fleet.
+
+    ``timeout`` bounds each attempt's wall clock (parallel path);
+    ``retries``/``backoff`` re-run failed, crashed, or timed-out
+    workloads with exponential backoff; ``fault_plan`` injects
+    deterministic failures for testing — see
+    :class:`~repro.jrpm.executor.FleetExecutor` for the full failure
+    model.
     """
     from repro.jrpm.executor import FleetExecutor
 
     executor = FleetExecutor(jobs=jobs, config=config,
                              simulate_tls=simulate_tls, cache=cache,
-                             on_error=on_error, **jrpm_kwargs)
+                             on_error=on_error, timeout=timeout,
+                             retries=retries, backoff=backoff,
+                             fault_plan=fault_plan, **jrpm_kwargs)
     return executor.run(workloads)

@@ -38,12 +38,26 @@ patches annotated code in place — a shared object would leak those
 patches into the next run).  An optional backing directory persists
 blobs across processes, which lets the parallel fleet executor's
 workers share one cache.
+
+Integrity
+---------
+On-disk blobs are *checksum-framed*: a magic line, the owning stage
+name, and a SHA-256 digest of the payload precede the pickle bytes.
+A torn, truncated, or bit-flipped file (worker killed mid-write, disk
+trouble, a fault-injection test) therefore fails verification instead
+of feeding garbage to ``pickle.loads``; the bad file is quarantined by
+renaming it to ``<name>.corrupt``, the read is demoted to a miss, and
+a per-stage ``corrupt`` counter records the event.  Unpickling errors
+(truncated payload that still checksummed, a class that moved) are
+demoted the same way — a corrupt cache entry costs one recompute,
+never the run.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import itertools
 import os
 import pickle
 from typing import Any, Dict, Optional, Tuple
@@ -74,6 +88,66 @@ PROFILE_CONFIG_FIELDS = (
     "load_buffer_lines",
     "store_buffer_lines",
 )
+
+
+#: first line of every framed blob file; bump on format changes (old
+#: files then quarantine as corrupt and recompute, never misparse)
+BLOB_MAGIC = b"jrpmblob1\n"
+
+#: exceptions ``pickle.loads`` raises on damaged-but-checksummed or
+#: schema-drifted payloads; all demoted to cache misses
+_UNPICKLE_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError)
+
+#: per-process tmp-file serial: combined with the pid this makes every
+#: in-flight write target unique, so two threads (or a retry racing
+#: its predecessor) can never collide mid-write
+_TMP_COUNTER = itertools.count()
+
+
+def frame_blob(stage: str, payload: bytes) -> bytes:
+    """Wrap a pickle payload in the on-disk integrity frame."""
+    return b"".join([BLOB_MAGIC, stage.encode("ascii"), b"\n",
+                     hashlib.sha256(payload).digest(), payload])
+
+
+def unframe_blob(data: bytes) -> Tuple[str, bytes]:
+    """Parse and verify a framed blob; ``(stage, payload)``.
+
+    Raises :class:`CorruptBlobError` on any damage: missing magic,
+    torn header, or a payload that fails its checksum.
+    """
+    if not data.startswith(BLOB_MAGIC):
+        raise CorruptBlobError("bad magic")
+    cut = data.find(b"\n", len(BLOB_MAGIC))
+    if cut < 0:
+        raise CorruptBlobError("torn header")
+    stage = data[len(BLOB_MAGIC):cut].decode("ascii", "replace")
+    digest = data[cut + 1:cut + 33]
+    payload = data[cut + 33:]
+    if len(digest) < 32 or hashlib.sha256(payload).digest() != digest:
+        raise CorruptBlobError("checksum mismatch for stage %r" % stage)
+    return stage, payload
+
+
+def blob_stage(path: str) -> Optional[str]:
+    """The stage recorded in a blob file's frame header, or None when
+    the file is unreadable/unframed.  Reads only the header."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(BLOB_MAGIC) + 64)
+    except OSError:
+        return None
+    if not head.startswith(BLOB_MAGIC):
+        return None
+    cut = head.find(b"\n", len(BLOB_MAGIC))
+    if cut < 0:
+        return None
+    return head[len(BLOB_MAGIC):cut].decode("ascii", "replace")
+
+
+class CorruptBlobError(ValueError):
+    """A framed blob failed integrity verification."""
 
 
 def _canon(value: Any) -> str:
@@ -109,13 +183,15 @@ def profile_config_key(config: HydraConfig) -> Tuple:
 
 
 class ArtifactCache:
-    """Blob store for pipeline artifacts with per-stage hit/miss
-    counters.
+    """Blob store for pipeline artifacts with per-stage hit/miss/
+    corrupt counters.
 
     ``directory`` optionally backs the in-memory store with one file
     per blob (named by digest), shared across processes; writes go
-    through a temp file + rename so concurrent workers never observe a
-    torn blob.
+    through a unique temp file + rename so concurrent workers never
+    observe a torn blob, and reads verify the integrity frame —
+    damaged files are quarantined (renamed ``*.corrupt``) and demoted
+    to misses rather than crashing the pipeline.
     """
 
     def __init__(self, directory: Optional[str] = None):
@@ -125,59 +201,93 @@ class ArtifactCache:
         self._blobs: Dict[str, bytes] = {}
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
+        self.corrupt: Dict[str, int] = {}
 
     # -- blob plumbing ---------------------------------------------------
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".pkl")
 
-    def _read_blob(self, key: str) -> Optional[bytes]:
+    def _quarantine(self, key: str, stage: str) -> None:
+        """Move a bad blob aside (``.corrupt``) and forget it, so the
+        slot recomputes and the evidence survives for inspection."""
+        self.corrupt[stage] = self.corrupt.get(stage, 0) + 1
+        self._blobs.pop(key, None)
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                os.replace(path, path + ".corrupt")
+            except OSError:
+                pass  # already gone or unwritable; forgetting suffices
+
+    def _read_blob(self, key: str, stage: str) -> Optional[bytes]:
+        """The verified pickle payload for ``key``, or None (counting
+        a corruption when the file exists but fails verification)."""
         blob = self._blobs.get(key)
         if blob is not None:
             return blob
         if self.directory is not None:
             try:
                 with open(self._path(key), "rb") as handle:
-                    blob = handle.read()
+                    data = handle.read()
             except OSError:
+                return None
+            try:
+                _, blob = unframe_blob(data)
+            except CorruptBlobError:
+                self._quarantine(key, stage)
                 return None
             self._blobs[key] = blob
             return blob
         return None
 
-    def _write_blob(self, key: str, blob: bytes) -> None:
+    def _write_blob(self, key: str, stage: str, blob: bytes) -> None:
         self._blobs[key] = blob
         if self.directory is not None:
             path = self._path(key)
-            tmp = "%s.tmp.%d" % (path, os.getpid())
+            tmp = "%s.tmp.%d.%d" % (path, os.getpid(),
+                                    next(_TMP_COUNTER))
             with open(tmp, "wb") as handle:
-                handle.write(blob)
+                handle.write(frame_blob(stage, blob))
             os.replace(tmp, path)
 
     # -- the memoization interface ---------------------------------------
 
     def fetch(self, stage: str, key: str) -> Tuple[bool, Any]:
-        """(hit, value); the value is a fresh unpickled copy."""
-        blob = self._read_blob(key)
+        """(hit, value); the value is a fresh unpickled copy.
+
+        A corrupt entry — torn frame, checksum mismatch, or a payload
+        ``pickle.loads`` rejects — is quarantined and returned as a
+        miss, so callers recompute instead of crashing.
+        """
+        blob = self._read_blob(key, stage)
         if blob is None:
             self.misses[stage] = self.misses.get(stage, 0) + 1
             return False, None
+        try:
+            value = pickle.loads(blob)
+        except _UNPICKLE_ERRORS:
+            self._quarantine(key, stage)
+            self.misses[stage] = self.misses.get(stage, 0) + 1
+            return False, None
         self.hits[stage] = self.hits.get(stage, 0) + 1
-        return True, pickle.loads(blob)
+        return True, value
 
     def store(self, stage: str, key: str, value: Any) -> None:
         """Snapshot ``value`` (by pickling) under ``key``."""
         self._write_blob(
-            key, pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+            key, stage, pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
 
     # -- statistics -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, int]]:
-        """Current counters as {stage: {"hits": n, "misses": n}}."""
+        """Current counters as
+        {stage: {"hits": n, "misses": n, "corrupt": n}}."""
         out: Dict[str, Dict[str, int]] = {}
-        for stage in set(self.hits) | set(self.misses):
+        for stage in set(self.hits) | set(self.misses) | set(self.corrupt):
             out[stage] = {"hits": self.hits.get(stage, 0),
-                          "misses": self.misses.get(stage, 0)}
+                          "misses": self.misses.get(stage, 0),
+                          "corrupt": self.corrupt.get(stage, 0)}
         return out
 
     @property
@@ -188,14 +298,21 @@ class ArtifactCache:
     def miss_count(self) -> int:
         return sum(self.misses.values())
 
+    @property
+    def corrupt_count(self) -> int:
+        return sum(self.corrupt.values())
+
     def render(self) -> str:
         """One-line-per-stage counter summary."""
-        lines = ["%-12s %6s %6s" % ("stage", "hits", "misses")]
+        lines = ["%-12s %6s %6s %7s" % ("stage", "hits", "misses",
+                                        "corrupt")]
         for stage in STAGES:
-            if stage in self.hits or stage in self.misses:
-                lines.append("%-12s %6d %6d" % (
+            if stage in self.hits or stage in self.misses \
+                    or stage in self.corrupt:
+                lines.append("%-12s %6d %6d %7d" % (
                     stage, self.hits.get(stage, 0),
-                    self.misses.get(stage, 0)))
+                    self.misses.get(stage, 0),
+                    self.corrupt.get(stage, 0)))
         return "\n".join(lines)
 
 
@@ -205,9 +322,12 @@ def merge_stats(into: Dict[str, Dict[str, int]],
     """Accumulate one counter snapshot into another (in place)."""
     if extra:
         for stage, counts in extra.items():
-            slot = into.setdefault(stage, {"hits": 0, "misses": 0})
+            slot = into.setdefault(
+                stage, {"hits": 0, "misses": 0, "corrupt": 0})
             slot["hits"] += counts.get("hits", 0)
             slot["misses"] += counts.get("misses", 0)
+            slot["corrupt"] = slot.get("corrupt", 0) \
+                + counts.get("corrupt", 0)
     return into
 
 
@@ -220,6 +340,8 @@ def diff_stats(after: Dict[str, Dict[str, int]],
         base = before.get(stage, {})
         hits = counts.get("hits", 0) - base.get("hits", 0)
         misses = counts.get("misses", 0) - base.get("misses", 0)
-        if hits or misses:
-            out[stage] = {"hits": hits, "misses": misses}
+        corrupt = counts.get("corrupt", 0) - base.get("corrupt", 0)
+        if hits or misses or corrupt:
+            out[stage] = {"hits": hits, "misses": misses,
+                          "corrupt": corrupt}
     return out

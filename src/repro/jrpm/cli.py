@@ -58,6 +58,15 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cache-dir", metavar="DIR",
                        help="artifact cache directory (reused across "
                             "invocations and shared by parallel jobs)")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="wall-clock limit per workload attempt; "
+                            "hung workers are killed and the workload "
+                            "retried or failed (parallel runs only)")
+    fleet.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="re-run a failed, crashed, or timed-out "
+                            "workload up to N extra times with "
+                            "exponential backoff (default 0)")
 
     sub.add_parser("list", help="list the bundled paper workloads")
     return parser
@@ -71,6 +80,11 @@ def _run_fleet_command(args) -> int:
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1, got %d" % args.jobs)
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive, got %r"
+                         % args.timeout)
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0, got %d" % args.retries)
     workloads = None
     if args.workloads:
         from repro.workloads.registry import get_workload, workload_names
@@ -95,6 +109,7 @@ def _run_fleet_command(args) -> int:
     start = time.perf_counter()
     result = run_fleet(workloads=workloads, jobs=args.jobs,
                        cache=cache, on_error="row", level=level,
+                       timeout=args.timeout, retries=args.retries,
                        simulate_tls=not args.no_tls)
     elapsed = time.perf_counter() - start
 
@@ -105,8 +120,14 @@ def _run_fleet_command(args) -> int:
           % (len(result), elapsed, args.jobs, result.median_slowdown,
              result.geomean_prediction_ratio))
     if cache is not None:
-        print("cache: %d hits, %d misses"
-              % (result.cache_hits, result.cache_misses))
+        print("cache: %d hits, %d misses, %d corrupt"
+              % (result.cache_hits, result.cache_misses,
+                 result.cache_corrupt))
+    if result.retry_count or result.timeout_count or result.crash_count:
+        print("faults survived: %d retries, %d timeouts, "
+              "%d worker crashes"
+              % (result.retry_count, result.timeout_count,
+                 result.crash_count))
     failures = result.errors
     if failures:
         print()

@@ -1,4 +1,4 @@
-"""Parallel fleet execution.
+"""Parallel fleet execution with bounded-failure recovery.
 
 The Section 6 evaluation is embarrassingly parallel: each benchmark's
 pipeline run is independent of every other's.  :class:`FleetExecutor`
@@ -12,26 +12,70 @@ while keeping three properties the serial loop had for free:
   becomes a :class:`~repro.jrpm.batch.FleetErrorRow` carrying the
   worker's traceback instead of killing the whole sweep;
   ``on_error="raise"`` (the default, matching the historical serial
-  semantics) re-raises the first failure in workload order;
+  semantics) re-raises the first failure in *workload* order after the
+  sweep drains, with the merged cache/execution counters attached to
+  the raised :class:`~repro.errors.PipelineError` (``.cache_stats`` /
+  ``.exec_stats``);
 * **shared caching** — workers cannot share an in-memory
   :class:`~repro.jrpm.cache.ArtifactCache`, so parallel runs pass a
   ``cache_dir`` and each worker opens the same disk-backed cache; the
-  per-worker hit/miss counters are shipped back and merged into the
-  :class:`~repro.jrpm.batch.FleetResult`.
+  per-worker hit/miss/corrupt counters are shipped back and merged
+  into the :class:`~repro.jrpm.batch.FleetResult`.
+
+Failure model
+-------------
+The parallel path mirrors how the traced systems themselves treat
+misspeculation: a failure is squashed and re-executed with bounded
+cost, never propagated.  Work is submitted one future per workload
+(at most ``jobs`` in flight, so a submitted task is running, not
+queued — which is what makes wall-clock deadlines meaningful):
+
+* **worker crash** — a worker dying mid-task (OOM, segfault, an
+  injected ``os._exit``) breaks the pool; every in-flight workload is
+  charged an attempt (the pool cannot attribute the crash) and
+  resubmitted to a freshly spawned pool, so the crasher converges to a
+  ``FleetErrorRow`` once its retries exhaust while bystanders complete
+  normally;
+* **timeout** — a workload exceeding ``timeout`` seconds of wall
+  clock is abandoned: the pool's processes are terminated (the hung
+  interpreter cannot be interrupted politely), the timed-out workload
+  is charged an attempt, and the other in-flight workloads are
+  resubmitted *without* being charged (the expiry attributes blame
+  precisely);
+* **retry** — a failed attempt (exception, crash, timeout) is retried
+  up to ``retries`` times with exponential backoff plus jitter
+  (``backoff * 2**(attempt-1)``, +0..25% jitter) before the workload
+  is declared failed.
 
 ``jobs=1`` executes inline in the calling process — no pool, no
-pickling — and is byte-identical to the historical ``run_fleet`` loop.
+pickling, no timeouts (there is no second process to do the killing) —
+and is byte-identical to the historical ``run_fleet`` loop, retries
+aside.
+
+Deterministic tests drive every one of these paths through
+:class:`~repro.jrpm.faults.FaultPlan` (``fault_plan=``), which injects
+worker kills, hangs, in-stage exceptions, and cache-blob truncation.
 """
 
 from __future__ import annotations
 
+import heapq
+import random
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PipelineError
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
 from repro.jrpm.cache import ArtifactCache, diff_stats, merge_stats
+from repro.jrpm.faults import FaultPlan
 from repro.jrpm.pipeline import Jrpm
 from repro.workloads.registry import Workload, all_workloads
 
@@ -44,17 +88,22 @@ def _execute_workload(payload: Tuple) -> Tuple:
     well as ``fork``.  Returns ``(index, row_or_error, stats)`` where
     ``row_or_error`` is a FleetRow on success or an ``(exc_repr,
     traceback_text)`` pair on failure, and ``stats`` is the worker
-    cache's hit/miss counter delta (or None without a cache).
+    cache's hit/miss/corrupt counter delta (or None without a cache).
     """
     from repro.jrpm.batch import FleetRow
 
-    (index, workload, config, simulate_tls, cache_dir,
+    (index, workload, config, simulate_tls, cache_dir, fault_plan,
      jrpm_kwargs) = payload
     cache = ArtifactCache(directory=cache_dir) \
         if cache_dir is not None else None
     try:
+        kwargs = dict(jrpm_kwargs)
+        if fault_plan is not None:
+            fault_plan.on_workload_start(workload.name, cache_dir)
+            kwargs.setdefault("stage_hook",
+                              fault_plan.stage_hook(workload.name))
         jrpm = Jrpm(source=workload.source(), name=workload.name,
-                    config=config, cache=cache, **jrpm_kwargs)
+                    config=config, cache=cache, **kwargs)
         report = jrpm.run(simulate_tls=simulate_tls)
         row = FleetRow(workload, report)
         return index, row, cache.snapshot() if cache else None
@@ -68,6 +117,12 @@ class FleetExecutor:
 
     Parameters mirror :func:`~repro.jrpm.batch.run_fleet`; extra
     keyword arguments flow into every :class:`Jrpm`.
+
+    ``timeout`` bounds each workload attempt's wall-clock seconds
+    (parallel path only); ``retries`` re-runs a failed/crashed/timed-
+    out workload up to N extra times with ``backoff``-seconds
+    exponential backoff; ``fault_plan`` injects deterministic failures
+    for testing (see :mod:`repro.jrpm.faults`).
     """
 
     def __init__(self, jobs: int = 1,
@@ -75,6 +130,10 @@ class FleetExecutor:
                  simulate_tls: bool = True,
                  cache: Optional[ArtifactCache] = None,
                  on_error: str = "raise",
+                 timeout: Optional[float] = None,
+                 retries: int = 0,
+                 backoff: float = 0.25,
+                 fault_plan: Optional[FaultPlan] = None,
                  **jrpm_kwargs):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -86,68 +145,266 @@ class FleetExecutor:
                 "parallel fleets need a disk-backed cache "
                 "(ArtifactCache(directory=...)) so worker processes "
                 "can share artifacts")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive, got %r" % timeout)
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0, got %r" % backoff)
         self.jobs = jobs
         self.config = config
         self.simulate_tls = simulate_tls
         self.cache = cache
         self.on_error = on_error
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.fault_plan = fault_plan
         self.jrpm_kwargs = jrpm_kwargs
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1``: exponential in the
+        attempts already burned, with up-to-25% jitter so a fleet of
+        retries doesn't stampede the pool in lockstep."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * (2 ** (attempt - 1)) \
+            * (1.0 + 0.25 * random.random())
 
     # -- the two execution strategies -------------------------------------
 
-    def _run_serial(self, workloads: List[Workload]) -> Tuple[List, Dict]:
+    def _run_serial(self, workloads: List[Workload]
+                    ) -> Tuple[List, Dict, Dict]:
         from repro.jrpm.batch import FleetErrorRow, FleetRow
 
         cache = self.cache
+        cache_dir = cache.directory if cache else None
         before = cache.snapshot() if cache else {}
+        exec_stats = {"retries": 0, "timeouts": 0, "crashes": 0}
         rows: List = []
         for w in workloads:
-            try:
-                jrpm = Jrpm(source=w.source(), name=w.name,
-                            config=self.config, cache=cache,
-                            **self.jrpm_kwargs)
-                rows.append(
-                    FleetRow(w, jrpm.run(simulate_tls=self.simulate_tls)))
-            except Exception as exc:  # noqa: BLE001 - isolated per row
-                if self.on_error == "raise":
-                    raise
-                rows.append(FleetErrorRow(w, repr(exc),
-                                          traceback.format_exc()))
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    kwargs = dict(self.jrpm_kwargs)
+                    if self.fault_plan is not None:
+                        self.fault_plan.on_workload_start(
+                            w.name, cache_dir, in_worker=False)
+                        kwargs.setdefault(
+                            "stage_hook",
+                            self.fault_plan.stage_hook(w.name))
+                    jrpm = Jrpm(source=w.source(), name=w.name,
+                                config=self.config, cache=cache,
+                                **kwargs)
+                    rows.append(FleetRow(
+                        w, jrpm.run(simulate_tls=self.simulate_tls)))
+                    break
+                except Exception as exc:  # noqa: BLE001 - isolated per row
+                    if attempt <= self.retries:
+                        exec_stats["retries"] += 1
+                        delay = self._retry_delay(attempt)
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    if self.on_error == "raise":
+                        raise
+                    rows.append(FleetErrorRow(
+                        w, repr(exc), traceback.format_exc(),
+                        attempts=attempt))
+                    break
         stats = diff_stats(cache.snapshot(), before) if cache else {}
-        return rows, stats
+        return rows, stats, exec_stats
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _respawn_pool(self, pool: ProcessPoolExecutor
+                      ) -> ProcessPoolExecutor:
+        """Tear a (broken or hung) pool down hard and start fresh.
+
+        ``_processes`` is private API, but it is the only handle on a
+        worker stuck inside an interpreter loop — shutdown() alone
+        would block behind it forever.
+        """
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers
+            pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken pools may refuse
+            pass
+        return self._spawn_pool()
 
     def _run_parallel(self, workloads: List[Workload]
-                      ) -> Tuple[List, Dict]:
+                      ) -> Tuple[List, Dict, Dict]:
+        cache_dir = self.cache.directory if self.cache else None
+        count = len(workloads)
+        max_attempts = self.retries + 1
+        #: terminal outcome per index: ("row", FleetRow) or
+        #: ("error", exc_repr, trace, attempts)
+        results: List = [None] * count
+        stats: Dict = {}
+        exec_stats = {"retries": 0, "timeouts": 0, "crashes": 0}
+        attempts = [0] * count
+        pending = deque(range(count))     # ready to (re)submit
+        delayed: List[Tuple[float, int]] = []  # backoff heap
+        in_flight: Dict = {}              # future -> (index, deadline)
+        pool = self._spawn_pool()
+
+        def payload(index: int) -> Tuple:
+            return (index, workloads[index], self.config,
+                    self.simulate_tls, cache_dir, self.fault_plan,
+                    self.jrpm_kwargs)
+
+        def requeue_or_fail(index: int, error: str) -> None:
+            """A charged attempt failed; back off and retry, or write
+            the terminal error outcome."""
+            if attempts[index] < max_attempts:
+                exec_stats["retries"] += 1
+                delay = self._retry_delay(attempts[index])
+                heapq.heappush(delayed,
+                               (time.monotonic() + delay, index))
+            else:
+                results[index] = ("error", error, "", attempts[index])
+
+        try:
+            while pending or delayed or in_flight:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, index = heapq.heappop(delayed)
+                    pending.append(index)
+                while pending and len(in_flight) < self.jobs:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    try:
+                        future = pool.submit(_execute_workload,
+                                             payload(index))
+                    except BrokenProcessPool:
+                        pool = self._respawn_pool(pool)
+                        future = pool.submit(_execute_workload,
+                                             payload(index))
+                    deadline = (time.monotonic() + self.timeout) \
+                        if self.timeout is not None else None
+                    in_flight[future] = (index, deadline)
+                if not in_flight:
+                    if delayed:  # only backoff waits remain
+                        time.sleep(max(
+                            0.0, delayed[0][0] - time.monotonic()))
+                    continue
+
+                wake_at = [d for _, d in in_flight.values()
+                           if d is not None]
+                if delayed:
+                    wake_at.append(delayed[0][0])
+                wait_for = max(0.0, min(wake_at) - time.monotonic()) \
+                    if wake_at else None
+                done, _ = wait(set(in_flight), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+
+                pool_broke = False
+                for future in done:
+                    index, _ = in_flight.pop(future)
+                    try:
+                        _, outcome, worker_stats = future.result()
+                    except BrokenProcessPool:
+                        pool_broke = True
+                        requeue_or_fail(
+                            index,
+                            "worker process died (BrokenProcessPool)")
+                        continue
+                    merge_stats(stats, worker_stats)
+                    if isinstance(outcome, tuple):
+                        exc_repr, trace = outcome
+                        if attempts[index] < max_attempts:
+                            exec_stats["retries"] += 1
+                            delay = self._retry_delay(attempts[index])
+                            heapq.heappush(
+                                delayed,
+                                (time.monotonic() + delay, index))
+                        else:
+                            results[index] = ("error", exc_repr, trace,
+                                              attempts[index])
+                    else:
+                        results[index] = ("row", outcome)
+
+                if pool_broke:
+                    # the pool cannot say which task killed it, so
+                    # every in-flight workload is charged and retried;
+                    # the true crasher re-crashes until its retries
+                    # exhaust, bystanders complete on the fresh pool
+                    exec_stats["crashes"] += 1
+                    for future, (index, _) in list(in_flight.items()):
+                        requeue_or_fail(
+                            index,
+                            "worker process died (BrokenProcessPool)")
+                    in_flight.clear()
+                    pool = self._respawn_pool(pool)
+                elif not done and self.timeout is not None:
+                    now = time.monotonic()
+                    expired = [(future, index)
+                               for future, (index, deadline)
+                               in in_flight.items()
+                               if deadline is not None
+                               and deadline <= now]
+                    if expired:
+                        # hung workers only die with the pool; blame
+                        # is exact here, so bystanders requeue with
+                        # their attempt refunded
+                        exec_stats["timeouts"] += len(expired)
+                        expired_futures = {f for f, _ in expired}
+                        for future, (index, _) in in_flight.items():
+                            if future not in expired_futures:
+                                attempts[index] -= 1
+                                pending.append(index)
+                        for _, index in expired:
+                            requeue_or_fail(
+                                index,
+                                "timed out after %.1fs (attempt %d/%d)"
+                                % (self.timeout, attempts[index],
+                                   max_attempts))
+                        in_flight.clear()
+                        pool = self._respawn_pool(pool)
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - broken pools may refuse
+                pass
+
+        return (self._rows_from_results(workloads, results, stats,
+                                        exec_stats),
+                stats, exec_stats)
+
+    def _rows_from_results(self, workloads: List[Workload],
+                           results: List, stats: Dict,
+                           exec_stats: Dict) -> List:
         from repro.jrpm.batch import FleetErrorRow
 
-        cache_dir = self.cache.directory if self.cache else None
-        payloads = [
-            (i, w, self.config, self.simulate_tls, cache_dir,
-             self.jrpm_kwargs)
-            for i, w in enumerate(workloads)]
-        results: List = [None] * len(workloads)
-        stats: Dict = {}
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            for index, outcome, worker_stats in pool.map(
-                    _execute_workload, payloads):
-                results[index] = outcome
-                merge_stats(stats, worker_stats)
-
         rows: List = []
+        first_error = None
         for w, outcome in zip(workloads, results):
-            if isinstance(outcome, tuple):  # (exc_repr, traceback)
-                exc_repr, trace = outcome
-                if self.on_error == "raise":
-                    raise PipelineError(
-                        "workload %r failed in a fleet worker: %s\n%s"
-                        % (w.name, exc_repr, trace))
-                rows.append(FleetErrorRow(w, exc_repr, trace))
-            else:
-                rows.append(outcome)
-        # replay the workers' blobs into the parent cache's counters?
-        # No: parent-side stats should reflect this fleet run only,
-        # which is exactly the merged worker deltas computed above.
-        return rows, stats
+            if outcome[0] == "row":
+                rows.append(outcome[1])
+                continue
+            _, error, trace, used = outcome
+            rows.append(FleetErrorRow(w, error, trace, attempts=used))
+            if first_error is None:
+                first_error = (w, error, trace)
+        if first_error is not None and self.on_error == "raise":
+            w, error, trace = first_error
+            exc = PipelineError(
+                "workload %r failed in a fleet worker: %s\n%s"
+                % (w.name, error, trace))
+            # the sweep drained before raising: completed rows' merged
+            # counters ride along for callers that want partial credit
+            exc.cache_stats = stats
+            exc.exec_stats = exec_stats
+            raise exc
+        return rows
 
     # -- entry point -------------------------------------------------------
 
@@ -159,7 +416,8 @@ class FleetExecutor:
         fleet = list(workloads) if workloads is not None \
             else all_workloads()
         if self.jobs == 1:
-            rows, stats = self._run_serial(fleet)
+            rows, stats, exec_stats = self._run_serial(fleet)
         else:
-            rows, stats = self._run_parallel(fleet)
-        return FleetResult(rows, cache_stats=stats)
+            rows, stats, exec_stats = self._run_parallel(fleet)
+        return FleetResult(rows, cache_stats=stats,
+                           exec_stats=exec_stats)

@@ -121,7 +121,8 @@ class Jrpm:
                  convergence_threshold: int = 1000,
                  max_instructions: int = 200_000_000,
                  cache: Optional[ArtifactCache] = None,
-                 columnar: bool = True):
+                 columnar: bool = True,
+                 stage_hook=None):
         if (source is None) == (program is None):
             raise PipelineError(
                 "provide exactly one of source= or program=")
@@ -148,6 +149,10 @@ class Jrpm:
         #: False falls back to the legacy row-of-tuples recording (kept
         #: for equivalence testing)
         self.columnar = columnar
+        #: optional callable invoked with each stage's name as it
+        #: begins (before any cache fetch) — the fleet's fault-
+        #: injection harness hangs off this
+        self.stage_hook = stage_hook
 
     # -- stages ------------------------------------------------------------
 
@@ -155,10 +160,12 @@ class Jrpm:
         """Execute the full pipeline; see the module docstring."""
         report = JrpmReport(self.name)
         cache = self.cache
+        hook = self.stage_hook or (lambda stage: None)
         cost_model = self.cost_model if self.cost_model is not None \
             else DEFAULT_COSTS
 
         # stage 1: compile + candidate STLs
+        hook(STAGE_COMPILE)
         ckey = hit = art = None
         if cache is not None:
             ckey = cache_key(STAGE_COMPILE, self._source, self.optimize)
@@ -181,6 +188,7 @@ class Jrpm:
         # stage 1b: annotate.  The artifact is stored before the
         # profiled run, which patches converged READSTATS sites in the
         # live annotated code — the cache must hold the pristine form.
+        hook(STAGE_ANNOTATE)
         akey = annotated = None
         hit = False
         if cache is not None:
@@ -193,6 +201,7 @@ class Jrpm:
         report.annotated = annotated
 
         # baseline sequential run (the "original code")
+        hook(STAGE_SEQUENTIAL)
         sequential = None
         hit = False
         if cache is not None:
@@ -212,6 +221,7 @@ class Jrpm:
         # selection-only knobs (n_cpus, Table 2 overheads) don't force
         # a re-profile.  The trace layout is part of the key: columnar
         # and row recordings are distinct artifacts.
+        hook(STAGE_PROFILE)
         hit = False
         if cache is not None:
             pkey = cache_key(

@@ -43,6 +43,30 @@ class TestFleet:
             assert row.coverage == row.report.coverage
             assert row.dynamic_depth >= 1
 
+    def test_missing_selected_loop_id_raises_not_skews(self, fleet):
+        # regression: a selected loop_id absent from the candidate
+        # table used to be silently dropped, skewing the Table 6
+        # column f average; it is an inconsistency and must raise
+        from repro.errors import PipelineError
+
+        row = fleet.by_name["IDEA"]
+        assert row.avg_selected_height > 0  # consistent: fine
+        by_id = row.report.candidates.by_id
+        victim = row.report.selection.significant()[0].loop_id
+        stashed = by_id.pop(victim)
+        try:
+            with pytest.raises(PipelineError) as excinfo:
+                row.avg_selected_height
+            assert str(victim) in str(excinfo.value)
+        finally:
+            by_id[victim] = stashed
+
+    def test_exec_stats_default_clean(self, fleet):
+        assert fleet.retry_count == 0
+        assert fleet.timeout_count == 0
+        assert fleet.crash_count == 0
+        assert fleet.cache_corrupt == 0
+
     def test_kwargs_flow_into_pipeline(self):
         w = get_workload("IDEA")
         plain = run_fleet([w], simulate_tls=False)

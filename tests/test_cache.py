@@ -6,6 +6,9 @@ exactly the stages that depend on it — no more (wasted work), no less
 (stale results).
 """
 
+import os
+import pickle
+
 import pytest
 
 from repro.hydra import HydraConfig
@@ -16,7 +19,11 @@ from repro.jrpm.cache import (
     STAGE_PROFILE,
     STAGE_SEQUENTIAL,
     ArtifactCache,
+    CorruptBlobError,
+    blob_stage,
     cache_key,
+    frame_blob,
+    unframe_blob,
 )
 from repro.jrpm.pipeline import Jrpm
 from repro.runtime.costs import CostModel
@@ -168,7 +175,8 @@ class TestBlobStore:
         for stage in (STAGE_COMPILE, STAGE_PROFILE):
             assert stage in text
         snap = cache.snapshot()
-        assert snap[STAGE_COMPILE] == {"hits": 0, "misses": 1}
+        assert snap[STAGE_COMPILE] == {"hits": 0, "misses": 1,
+                                       "corrupt": 0}
 
     def test_key_stability_and_sensitivity(self):
         k1 = cache_key("compile", "src", False)
@@ -177,3 +185,121 @@ class TestBlobStore:
         assert k1 != cache_key("annotate", "src", False)
         with pytest.raises(TypeError):
             cache_key("compile", object())
+
+
+def _stage_blobs(directory, stage):
+    """Paths of the on-disk blobs belonging to one stage."""
+    return [os.path.join(directory, n)
+            for n in sorted(os.listdir(directory))
+            if n.endswith(".pkl")
+            and blob_stage(os.path.join(directory, n)) == stage]
+
+
+class TestBlobIntegrity:
+    """Corrupt disk state must cost a recompute, never the run."""
+
+    def test_frame_roundtrip(self):
+        payload = pickle.dumps({"x": 1})
+        framed = frame_blob("compile", payload)
+        assert unframe_blob(framed) == ("compile", payload)
+
+    def test_unframe_rejects_damage(self):
+        payload = pickle.dumps([1, 2, 3])
+        framed = frame_blob("profile", payload)
+        with pytest.raises(CorruptBlobError):
+            unframe_blob(framed[:len(framed) // 2])  # truncated
+        with pytest.raises(CorruptBlobError):
+            unframe_blob(b"not a blob at all")       # no magic
+        flipped = bytearray(framed)
+        flipped[-1] ^= 0xFF
+        with pytest.raises(CorruptBlobError):
+            unframe_blob(bytes(flipped))             # bit flip
+
+    def test_blob_stage_reads_header(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        _run(cache)
+        stages = {blob_stage(os.path.join(str(tmp_path), n))
+                  for n in os.listdir(str(tmp_path))}
+        assert stages == {STAGE_COMPILE, STAGE_ANNOTATE,
+                          STAGE_SEQUENTIAL, STAGE_PROFILE}
+
+    def test_truncated_blob_is_a_miss_and_quarantined(self, tmp_path):
+        # regression: a hand-truncated blob used to crash pickle.loads
+        # and take the whole pipeline down with it
+        warm = ArtifactCache(directory=str(tmp_path))
+        cold_report = _run(warm)
+        path = _stage_blobs(str(tmp_path), STAGE_COMPILE)[0]
+        os.truncate(path, os.path.getsize(path) // 2)
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        report = _run(fresh)
+        assert fresh.corrupt == {STAGE_COMPILE: 1}
+        assert fresh.misses[STAGE_COMPILE] == 1
+        assert fresh.hits.get(STAGE_COMPILE, 0) == 0
+        # the evidence is kept, the slot recomputed and re-stored
+        assert os.path.exists(path + ".corrupt")
+        assert os.path.exists(path)
+        assert blob_stage(path) == STAGE_COMPILE
+        for field in REPORT_FIELDS:
+            assert getattr(report, field) == getattr(cold_report, field)
+
+    def test_unpicklable_payload_is_a_miss_and_quarantined(
+            self, tmp_path):
+        # a payload that passes its checksum but cannot unpickle
+        # (schema drift, a class that moved) must also demote to a miss
+        warm = ArtifactCache(directory=str(tmp_path))
+        _run(warm)
+        path = _stage_blobs(str(tmp_path), STAGE_ANNOTATE)[0]
+        with open(path, "wb") as handle:
+            handle.write(frame_blob(STAGE_ANNOTATE, b"\x80\x04 junk"))
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        report = _run(fresh)
+        assert fresh.corrupt == {STAGE_ANNOTATE: 1}
+        assert fresh.misses[STAGE_ANNOTATE] == 1
+        assert os.path.exists(path + ".corrupt")
+        assert report.sequential_cycles > 0
+
+    def test_snapshot_merges_corrupt_counter(self, tmp_path):
+        from repro.jrpm.cache import diff_stats, merge_stats
+
+        cache = ArtifactCache(directory=str(tmp_path))
+        _run(cache)
+        path = _stage_blobs(str(tmp_path), STAGE_COMPILE)[0]
+        os.truncate(path, 10)
+        fresh = ArtifactCache(directory=str(tmp_path))
+        before = fresh.snapshot()
+        _run(fresh)
+        delta = diff_stats(fresh.snapshot(), before)
+        assert delta[STAGE_COMPILE]["corrupt"] == 1
+        merged = merge_stats({}, delta)
+        merged = merge_stats(merged, delta)
+        assert merged[STAGE_COMPILE]["corrupt"] == 2
+        assert "corrupt" in fresh.render()
+
+    def test_concurrent_writers_never_tear_a_blob(self, tmp_path):
+        # regression: the tmp suffix used to be pid-only, so two
+        # threads in one process could collide mid-write
+        import threading
+
+        cache = ArtifactCache(directory=str(tmp_path))
+        value = list(range(2048))
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(25):
+                    cache.store("compile", "samekey", value)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert not [n for n in os.listdir(str(tmp_path)) if ".tmp." in n]
+        fresh = ArtifactCache(directory=str(tmp_path))
+        hit, got = fresh.fetch("compile", "samekey")
+        assert hit and got == value

@@ -44,3 +44,21 @@ class TestCLI:
         with pytest.raises(SystemExit) as exc:
             main(["run", "not-a-workload"])
         assert "unknown workload" in str(exc.value)
+
+    def test_fleet_with_timeout_and_retries(self, tmp_path, capsys):
+        assert main(["fleet", "--workloads", "IDEA,monteCarlo",
+                     "--no-tls", "--cache-dir", str(tmp_path),
+                     "--timeout", "60", "--retries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "IDEA" in out and "monteCarlo" in out
+        assert "corrupt" in out  # cache counter line
+        # a clean run survives no faults, so no fault line is printed
+        assert "faults survived" not in out
+
+    def test_fleet_rejects_bad_fault_flags(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--timeout", "0"])
+        assert "--timeout" in str(exc.value)
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--retries", "-2"])
+        assert "--retries" in str(exc.value)

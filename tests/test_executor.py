@@ -11,8 +11,9 @@ import pytest
 
 from repro.errors import PipelineError
 from repro.jrpm.batch import FleetErrorRow, FleetRow, run_fleet
-from repro.jrpm.cache import ArtifactCache
+from repro.jrpm.cache import STAGE_PROFILE, ArtifactCache
 from repro.jrpm.executor import FleetExecutor
+from repro.jrpm.faults import FaultPlan
 from repro.workloads import get_workload
 from repro.workloads.registry import Workload
 
@@ -107,6 +108,89 @@ class TestFailureIsolation:
     def test_invalid_on_error(self):
         with pytest.raises(ValueError):
             FleetExecutor(on_error="ignore")
+
+    def test_invalid_timeout_retries_backoff(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(timeout=0)
+        with pytest.raises(ValueError):
+            FleetExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            FleetExecutor(backoff=-0.1)
+
+
+class TestRaiseSemantics:
+    """on_error="raise" contracts on the parallel path: the sweep
+    drains, then the first failure *in workload order* surfaces with
+    the worker's traceback, carrying the merged cache stats of the
+    rows that did complete."""
+
+    def test_first_failure_in_workload_order_not_completion_order(
+            self, sample_workloads, tmp_path):
+        # IDEA fails late (injected in the profile stage) while BROKEN
+        # fails instantly in the parser — completion order is BROKEN
+        # first, workload order is IDEA first, and workload order must
+        # win
+        plan = FaultPlan(str(tmp_path / "faults"))
+        plan.raise_in_stage("IDEA", STAGE_PROFILE)
+        cache = ArtifactCache(directory=str(tmp_path / "cache"))
+        with pytest.raises(PipelineError) as excinfo:
+            run_fleet([sample_workloads[0], BROKEN,
+                       sample_workloads[1]],
+                      simulate_tls=False, jobs=2, cache=cache,
+                      fault_plan=plan, on_error="raise")
+        message = str(excinfo.value)
+        assert "'IDEA'" in message
+        assert "broken" not in message.split("Traceback")[0]
+
+    def test_worker_traceback_preserved(self, sample_workloads,
+                                        tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path / "cache"))
+        with pytest.raises(PipelineError) as excinfo:
+            run_fleet([BROKEN, sample_workloads[0]],
+                      simulate_tls=False, jobs=2, cache=cache,
+                      on_error="raise")
+        assert "Traceback" in str(excinfo.value)
+
+    def test_merged_cache_stats_ride_on_the_exception(
+            self, sample_workloads, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path / "cache"))
+        with pytest.raises(PipelineError) as excinfo:
+            run_fleet([BROKEN] + sample_workloads[:2],
+                      simulate_tls=False, jobs=2, cache=cache,
+                      on_error="raise")
+        stats = excinfo.value.cache_stats
+        # the two healthy workloads completed and their worker
+        # counters were merged before the raise
+        assert sum(c.get("misses", 0) for c in stats.values()) >= 8
+        assert excinfo.value.exec_stats == {
+            "retries": 0, "timeouts": 0, "crashes": 0}
+
+
+class TestRetrySemantics:
+    def test_transient_parallel_failure_retried_to_success(
+            self, sample_workloads, tmp_path):
+        plan = FaultPlan(str(tmp_path / "faults"))
+        plan.raise_in_stage("IDEA", STAGE_PROFILE)
+        cache = ArtifactCache(directory=str(tmp_path / "cache"))
+        result = run_fleet(sample_workloads[:2], simulate_tls=False,
+                           jobs=2, cache=cache, retries=1,
+                           backoff=0.0, fault_plan=plan)
+        assert all(r.ok for r in result.rows)
+        assert result.retry_count == 1
+
+    def test_exhausted_retries_report_attempts(self, sample_workloads,
+                                               tmp_path):
+        plan = FaultPlan(str(tmp_path / "faults"))
+        plan.raise_in_stage("IDEA", STAGE_PROFILE, times=3)
+        cache = ArtifactCache(directory=str(tmp_path / "cache"))
+        result = run_fleet(sample_workloads[:2], simulate_tls=False,
+                           jobs=2, cache=cache, on_error="row",
+                           retries=2, backoff=0.0, fault_plan=plan)
+        row = result.rows[0]
+        assert isinstance(row, FleetErrorRow)
+        assert row.attempts == 3
+        assert result.retry_count == 2
+        assert result.rows[1].ok
 
 
 class TestCacheStatsPlumbing:
