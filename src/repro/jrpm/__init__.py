@@ -12,10 +12,17 @@ from repro.jrpm.executor import FleetExecutor
 from repro.jrpm.faults import FaultPlan
 from repro.jrpm.pipeline import Jrpm, JrpmReport, run_pipeline
 from repro.jrpm.report import (
+    REPORT_SCHEMA_VERSION,
+    ReportSchemaError,
+    dumps_canonical,
+    fleet_to_dict,
     render_characteristics_row,
     render_predicted_vs_actual,
     render_selection,
     render_summary,
+    report_json,
+    report_to_dict,
+    validate_report_dict,
 )
 from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 
@@ -23,6 +30,13 @@ __all__ = [
     "AnnotationCounter",
     "ArtifactCache",
     "FaultPlan",
+    "REPORT_SCHEMA_VERSION",
+    "ReportSchemaError",
+    "dumps_canonical",
+    "fleet_to_dict",
+    "report_json",
+    "report_to_dict",
+    "validate_report_dict",
     "FleetErrorRow",
     "FleetExecutor",
     "FleetResult",

@@ -60,7 +60,8 @@ import hashlib
 import itertools
 import os
 import pickle
-from typing import Any, Dict, Optional, Tuple
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.hydra.config import HydraConfig
 from repro.runtime.costs import CostModel
@@ -202,6 +203,24 @@ class ArtifactCache:
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         self.corrupt: Dict[str, int] = {}
+        #: guards the blob map and the counters — the analysis service
+        #: keeps one resident cache and fetches from many handler /
+        #: scheduler threads concurrently; dict mutation plus
+        #: read-modify-write counter bumps need the lock (pickling and
+        #: file I/O happen outside it, so readers don't serialize on
+        #: compute)
+        self._lock = threading.RLock()
+
+    # locks don't pickle; a cache that crosses a process boundary
+    # rebuilds its own
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- blob plumbing ---------------------------------------------------
 
@@ -211,8 +230,9 @@ class ArtifactCache:
     def _quarantine(self, key: str, stage: str) -> None:
         """Move a bad blob aside (``.corrupt``) and forget it, so the
         slot recomputes and the evidence survives for inspection."""
-        self.corrupt[stage] = self.corrupt.get(stage, 0) + 1
-        self._blobs.pop(key, None)
+        with self._lock:
+            self.corrupt[stage] = self.corrupt.get(stage, 0) + 1
+            self._blobs.pop(key, None)
         if self.directory is not None:
             path = self._path(key)
             try:
@@ -223,7 +243,8 @@ class ArtifactCache:
     def _read_blob(self, key: str, stage: str) -> Optional[bytes]:
         """The verified pickle payload for ``key``, or None (counting
         a corruption when the file exists but fails verification)."""
-        blob = self._blobs.get(key)
+        with self._lock:
+            blob = self._blobs.get(key)
         if blob is not None:
             return blob
         if self.directory is not None:
@@ -237,12 +258,14 @@ class ArtifactCache:
             except CorruptBlobError:
                 self._quarantine(key, stage)
                 return None
-            self._blobs[key] = blob
+            with self._lock:
+                self._blobs[key] = blob
             return blob
         return None
 
     def _write_blob(self, key: str, stage: str, blob: bytes) -> None:
-        self._blobs[key] = blob
+        with self._lock:
+            self._blobs[key] = blob
         if self.directory is not None:
             path = self._path(key)
             tmp = "%s.tmp.%d.%d" % (path, os.getpid(),
@@ -262,15 +285,18 @@ class ArtifactCache:
         """
         blob = self._read_blob(key, stage)
         if blob is None:
-            self.misses[stage] = self.misses.get(stage, 0) + 1
+            with self._lock:
+                self.misses[stage] = self.misses.get(stage, 0) + 1
             return False, None
         try:
             value = pickle.loads(blob)
         except _UNPICKLE_ERRORS:
             self._quarantine(key, stage)
-            self.misses[stage] = self.misses.get(stage, 0) + 1
+            with self._lock:
+                self.misses[stage] = self.misses.get(stage, 0) + 1
             return False, None
-        self.hits[stage] = self.hits.get(stage, 0) + 1
+        with self._lock:
+            self.hits[stage] = self.hits.get(stage, 0) + 1
         return True, value
 
     def store(self, stage: str, key: str, value: Any) -> None:
@@ -284,10 +310,12 @@ class ArtifactCache:
         """Current counters as
         {stage: {"hits": n, "misses": n, "corrupt": n}}."""
         out: Dict[str, Dict[str, int]] = {}
-        for stage in set(self.hits) | set(self.misses) | set(self.corrupt):
-            out[stage] = {"hits": self.hits.get(stage, 0),
-                          "misses": self.misses.get(stage, 0),
-                          "corrupt": self.corrupt.get(stage, 0)}
+        with self._lock:
+            stages = set(self.hits) | set(self.misses) | set(self.corrupt)
+            for stage in stages:
+                out[stage] = {"hits": self.hits.get(stage, 0),
+                              "misses": self.misses.get(stage, 0),
+                              "corrupt": self.corrupt.get(stage, 0)}
         return out
 
     @property
@@ -345,3 +373,118 @@ def diff_stats(after: Dict[str, Dict[str, int]],
             out[stage] = {"hits": hits, "misses": misses,
                           "corrupt": corrupt}
     return out
+
+
+# ---------------------------------------------------------------------------
+# offline cache maintenance (the ``jrpm cache`` subcommand)
+# ---------------------------------------------------------------------------
+
+def iter_blob_paths(directory: str) -> Iterator[str]:
+    """Every committed blob file in ``directory``, sorted by name
+    (tmp files mid-write and quarantined ``.corrupt`` files excluded)."""
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return
+    for name in names:
+        if name.endswith(".pkl"):
+            yield os.path.join(directory, name)
+
+
+def directory_stats(directory: str) -> Dict[str, Any]:
+    """Shape of an on-disk cache without opening any payloads:
+    per-stage blob counts and bytes (from the frame headers alone),
+    plus how many quarantined ``.corrupt`` files are lying around."""
+    stages: Dict[str, Dict[str, int]] = {}
+    blobs = total_bytes = quarantined = unreadable = 0
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        path = os.path.join(directory, name)
+        if name.endswith(".corrupt"):
+            quarantined += 1
+            continue
+        if not name.endswith(".pkl"):
+            continue
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            continue
+        stage = blob_stage(path)
+        if stage is None:
+            unreadable += 1
+            continue
+        blobs += 1
+        total_bytes += size
+        slot = stages.setdefault(stage, {"blobs": 0, "bytes": 0})
+        slot["blobs"] += 1
+        slot["bytes"] += size
+    return {"directory": directory, "blobs": blobs,
+            "bytes": total_bytes, "stages": stages,
+            "quarantined": quarantined, "unreadable": unreadable}
+
+
+def verify_directory(directory: str, quarantine: bool = True
+                     ) -> Dict[str, Any]:
+    """Walk every blob and verify its integrity frame (magic, stage,
+    SHA-256) without unpickling or running a pipeline.
+
+    Corrupt entries are reported and — with ``quarantine`` — renamed
+    to ``<name>.corrupt`` exactly as a live read would have done, so a
+    fsck'd cache never feeds a pipeline a bad blob.
+    """
+    checked = ok = 0
+    corrupt: List[Dict[str, str]] = []
+    for path in iter_blob_paths(directory):
+        checked += 1
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            corrupt.append({"file": os.path.basename(path),
+                            "stage": "?", "error": str(exc)})
+            continue
+        try:
+            unframe_blob(data)
+        except CorruptBlobError as exc:
+            entry = {"file": os.path.basename(path),
+                     "stage": blob_stage(path) or "?",
+                     "error": str(exc)}
+            if quarantine:
+                try:
+                    os.replace(path, path + ".corrupt")
+                    entry["quarantined"] = "yes"
+                except OSError:
+                    entry["quarantined"] = "no"
+            corrupt.append(entry)
+            continue
+        ok += 1
+    return {"directory": directory, "checked": checked, "ok": ok,
+            "corrupt": corrupt, "quarantine": quarantine}
+
+
+def purge_directory(directory: str, include_quarantined: bool = True
+                    ) -> Dict[str, int]:
+    """Delete every blob (and, by default, every quarantined
+    ``.corrupt`` file); returns ``{"files": n, "bytes": n}`` freed."""
+    files = freed = 0
+    try:
+        names = list(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.endswith(".pkl")
+                or (include_quarantined and name.endswith(".corrupt"))
+                or ".pkl.tmp." in name):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            size = os.path.getsize(path)
+            os.remove(path)
+        except OSError:
+            continue
+        files += 1
+        freed += size
+    return {"files": files, "bytes": freed}

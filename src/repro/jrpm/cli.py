@@ -4,10 +4,15 @@ Usage::
 
     jrpm list                     # show the 26 paper workloads
     jrpm run huffman              # full pipeline on one workload
+    jrpm run huffman --json       # machine-readable report
     jrpm run huffman --extended   # with per-PC dependency profiling
     jrpm run path/to/file.mj      # any minijava source file
     jrpm fleet                    # Table 6 over every workload
     jrpm fleet --jobs 4 --cache-dir .jrpm-cache --workloads IDEA,euler
+    jrpm serve --port 8731        # long-lived analysis daemon
+    jrpm cache stats --cache-dir .jrpm-cache
+    jrpm cache verify --cache-dir .jrpm-cache   # fsck the blobs
+    jrpm cache purge --cache-dir .jrpm-cache
 """
 
 from __future__ import annotations
@@ -43,6 +48,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="collect per-PC dependency profiles")
     run.add_argument("--no-tls", action="store_true",
                      help="skip the TLS timing simulation")
+    run.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report (same "
+                          "schema and bytes as the analysis service)")
 
     fleet = sub.add_parser(
         "fleet", help="run the pipeline over many workloads")
@@ -67,6 +75,65 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="re-run a failed, crashed, or timed-out "
                             "workload up to N extra times with "
                             "exponential backoff (default 0)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit machine-readable per-workload "
+                            "reports (one shared schema with "
+                            "'jrpm run --json' and the service)")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8731, metavar="N",
+                       help="listen port; 0 picks an ephemeral port "
+                            "(default 8731)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="resident worker processes (default 1 = "
+                            "in-process execution)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       metavar="N",
+                       help="bounded admission queue; beyond it "
+                            "requests are shed with HTTP 429 "
+                            "(default 64)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="max compatible requests dispatched as "
+                            "one fleet submission (default 8)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       metavar="N",
+                       help="completed results memoized for repeat "
+                            "traffic (default 256; 0 disables)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent artifact cache directory "
+                            "(default: in-memory, lives as long as "
+                            "the daemon)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="wall-clock limit per workload attempt "
+                            "(parallel jobs only)")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry failed/crashed/timed-out workloads "
+                            "up to N times (default 0)")
+    serve.add_argument("--metrics-dump", metavar="PATH",
+                       help="write the final metrics snapshot to PATH "
+                            "on shutdown")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain an artifact cache directory")
+    cache.add_argument("action", choices=("stats", "verify", "purge"),
+                       help="stats: per-stage blob counts/bytes; "
+                            "verify: checksum every blob, quarantine "
+                            "corrupt ones; purge: delete all blobs")
+    cache.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="the cache directory to operate on")
+    cache.add_argument("--no-quarantine", action="store_true",
+                       help="verify only reports corruption, leaving "
+                            "bad blobs in place")
+    cache.add_argument("--keep-quarantined", action="store_true",
+                       help="purge leaves *.corrupt evidence files")
+    cache.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
 
     sub.add_parser("list", help="list the bundled paper workloads")
     return parser
@@ -113,6 +180,12 @@ def _run_fleet_command(args) -> int:
                        simulate_tls=not args.no_tls)
     elapsed = time.perf_counter() - start
 
+    if args.json:
+        from repro.jrpm.report import dumps_canonical, fleet_to_dict
+        print(dumps_canonical(fleet_to_dict(
+            result, elapsed=elapsed, jobs=args.jobs)))
+        return 1 if result.errors else 0
+
     print(result.render())
     print()
     print("%d workloads in %.1fs (jobs=%d)  median slowdown %.2fx  "
@@ -136,6 +209,110 @@ def _run_fleet_command(args) -> int:
             if row.trace:
                 print(row.trace)
         return 1
+    return 0
+
+
+def _run_serve_command(args) -> int:
+    from repro.jrpm.cache import ArtifactCache
+    from repro.service.server import AnalysisService
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1, got %d" % args.jobs)
+    if args.queue_depth < 1:
+        raise SystemExit("--queue-depth must be >= 1, got %d"
+                         % args.queue_depth)
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive, got %r"
+                         % args.timeout)
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0, got %d" % args.retries)
+    cache = None
+    if args.cache_dir:
+        cache = ArtifactCache(directory=args.cache_dir)
+    elif args.jobs > 1:
+        import tempfile
+        cache = ArtifactCache(
+            directory=tempfile.mkdtemp(prefix="jrpm-serve-cache-"))
+    service = AnalysisService(
+        host=args.host, port=args.port, cache=cache,
+        jobs=args.jobs, queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        result_cache_size=args.result_cache,
+        timeout=args.timeout, retries=args.retries,
+        metrics_dump=args.metrics_dump, verbose=args.verbose)
+    service.install_signal_handlers()
+    service.start()
+    print("jrpm-serve listening on http://%s:%d "
+          "(jobs=%d, queue-depth=%d, max-batch=%d, cache=%s)"
+          % (service.host, service.port, args.jobs, args.queue_depth,
+             args.max_batch, args.cache_dir or "memory"), flush=True)
+    service.serve_until_signal()
+    snapshot = service.metrics.to_dict()
+    print("jrpm-serve drained and stopped after %.1fs: "
+          "%d analyses, %d coalesced, %d cached, %d shed"
+          % (snapshot["uptime_s"],
+             snapshot["counters"].get("analyze_completed", 0),
+             snapshot["counters"].get("coalesced", 0),
+             snapshot["counters"].get("result_cache_hits", 0),
+             snapshot["counters"].get("load_shed", 0)), flush=True)
+    return 0
+
+
+def _run_cache_command(args) -> int:
+    import json
+
+    from repro.jrpm.cache import (
+        directory_stats,
+        purge_directory,
+        verify_directory,
+    )
+
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit("jrpm cache: not a directory: %s"
+                         % args.cache_dir)
+
+    if args.action == "stats":
+        report = directory_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        print("cache %s: %d blobs, %d bytes"
+              % (report["directory"], report["blobs"], report["bytes"]))
+        for stage, counts in sorted(report["stages"].items()):
+            print("  %-12s %6d blobs %12d bytes"
+                  % (stage, counts["blobs"], counts["bytes"]))
+        if report["quarantined"]:
+            print("  %d quarantined .corrupt file(s)"
+                  % report["quarantined"])
+        if report["unreadable"]:
+            print("  %d unreadable/unframed file(s)"
+                  % report["unreadable"])
+        return 0
+
+    if args.action == "verify":
+        report = verify_directory(args.cache_dir,
+                                  quarantine=not args.no_quarantine)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print("verified %d blob(s): %d ok, %d corrupt"
+                  % (report["checked"], report["ok"],
+                     len(report["corrupt"])))
+            for entry in report["corrupt"]:
+                print("  CORRUPT %s (stage %s): %s%s"
+                      % (entry["file"], entry["stage"], entry["error"],
+                         " [quarantined]"
+                         if entry.get("quarantined") == "yes" else ""))
+        return 1 if report["corrupt"] else 0
+
+    report = purge_directory(
+        args.cache_dir,
+        include_quarantined=not args.keep_quarantined)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("purged %d file(s), %d bytes freed"
+              % (report["files"], report["bytes"]))
     return 0
 
 
@@ -167,12 +344,22 @@ def main(argv=None) -> int:
     if args.command == "fleet":
         return _run_fleet_command(args)
 
+    if args.command == "serve":
+        return _run_serve_command(args)
+
+    if args.command == "cache":
+        return _run_cache_command(args)
+
     name, source = _resolve_source(args.target)
     level = AnnotationLevel.BASE if args.base \
         else AnnotationLevel.OPTIMIZED
     jrpm = Jrpm(source=source, name=name, level=level,
                 extended=args.extended)
     report = jrpm.run(simulate_tls=not args.no_tls)
+    if args.json:
+        from repro.jrpm.report import report_json
+        print(report_json(report))
+        return 0
     print(render_summary(report))
     print()
     print(render_selection(report))

@@ -134,6 +134,8 @@ class FleetExecutor:
                  retries: int = 0,
                  backoff: float = 0.25,
                  fault_plan: Optional[FaultPlan] = None,
+                 persistent: bool = False,
+                 rng: Optional[random.Random] = None,
                  **jrpm_kwargs):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -160,6 +162,18 @@ class FleetExecutor:
         self.retries = retries
         self.backoff = backoff
         self.fault_plan = fault_plan
+        #: keep the worker pool alive across :meth:`run` calls (the
+        #: analysis service submits many fleets through one executor;
+        #: respawning processes per request would forfeit the warm
+        #: start).  Callers own the lifetime: call :meth:`close` (or
+        #: use the executor as a context manager) when done.  run()
+        #: itself is not thread-safe — serialize calls (the service's
+        #: single dispatcher thread does).
+        self.persistent = persistent
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: jitter source for retry backoff; pass ``random.Random(seed)``
+        #: to make retry timing deterministic in tests
+        self._rng = rng if rng is not None else random
         self.jrpm_kwargs = jrpm_kwargs
 
     # -- shared helpers ----------------------------------------------------
@@ -171,12 +185,13 @@ class FleetExecutor:
         if self.backoff <= 0:
             return 0.0
         return self.backoff * (2 ** (attempt - 1)) \
-            * (1.0 + 0.25 * random.random())
+            * (1.0 + 0.25 * self._rng.random())
 
     # -- the two execution strategies -------------------------------------
 
-    def _run_serial(self, workloads: List[Workload]
-                    ) -> Tuple[List, Dict, Dict]:
+    def _run_serial(self, workloads: List[Workload],
+                    config: HydraConfig, simulate_tls: bool,
+                    jrpm_kwargs: Dict) -> Tuple[List, Dict, Dict]:
         from repro.jrpm.batch import FleetErrorRow, FleetRow
 
         cache = self.cache
@@ -189,7 +204,7 @@ class FleetExecutor:
             while True:
                 attempt += 1
                 try:
-                    kwargs = dict(self.jrpm_kwargs)
+                    kwargs = dict(jrpm_kwargs)
                     if self.fault_plan is not None:
                         self.fault_plan.on_workload_start(
                             w.name, cache_dir, in_worker=False)
@@ -197,10 +212,10 @@ class FleetExecutor:
                             "stage_hook",
                             self.fault_plan.stage_hook(w.name))
                     jrpm = Jrpm(source=w.source(), name=w.name,
-                                config=self.config, cache=cache,
+                                config=config, cache=cache,
                                 **kwargs)
                     rows.append(FleetRow(
-                        w, jrpm.run(simulate_tls=self.simulate_tls)))
+                        w, jrpm.run(simulate_tls=simulate_tls)))
                     break
                 except Exception as exc:  # noqa: BLE001 - isolated per row
                     if attempt <= self.retries:
@@ -221,6 +236,29 @@ class FleetExecutor:
     def _spawn_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.jobs)
 
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        """The pool for this run: the resident one (persistent mode,
+        warm from earlier runs) or a fresh throwaway."""
+        if self.persistent and self._pool is not None:
+            return self._pool
+        return self._spawn_pool()
+
+    def close(self) -> None:
+        """Tear down the resident pool (persistent mode).  Idempotent;
+        a later :meth:`run` simply spawns a new pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - broken pools may refuse
+                pass
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _respawn_pool(self, pool: ProcessPoolExecutor
                       ) -> ProcessPoolExecutor:
         """Tear a (broken or hung) pool down hard and start fresh.
@@ -240,8 +278,9 @@ class FleetExecutor:
             pass
         return self._spawn_pool()
 
-    def _run_parallel(self, workloads: List[Workload]
-                      ) -> Tuple[List, Dict, Dict]:
+    def _run_parallel(self, workloads: List[Workload],
+                      config: HydraConfig, simulate_tls: bool,
+                      jrpm_kwargs: Dict) -> Tuple[List, Dict, Dict]:
         cache_dir = self.cache.directory if self.cache else None
         count = len(workloads)
         max_attempts = self.retries + 1
@@ -254,12 +293,12 @@ class FleetExecutor:
         pending = deque(range(count))     # ready to (re)submit
         delayed: List[Tuple[float, int]] = []  # backoff heap
         in_flight: Dict = {}              # future -> (index, deadline)
-        pool = self._spawn_pool()
+        pool = self._acquire_pool()
 
         def payload(index: int) -> Tuple:
-            return (index, workloads[index], self.config,
-                    self.simulate_tls, cache_dir, self.fault_plan,
-                    self.jrpm_kwargs)
+            return (index, workloads[index], config,
+                    simulate_tls, cache_dir, self.fault_plan,
+                    jrpm_kwargs)
 
         def requeue_or_fail(index: int, error: str) -> None:
             """A charged attempt failed; back off and retry, or write
@@ -370,10 +409,15 @@ class FleetExecutor:
                         in_flight.clear()
                         pool = self._respawn_pool(pool)
         finally:
-            try:
-                pool.shutdown(wait=False, cancel_futures=True)
-            except Exception:  # noqa: BLE001 - broken pools may refuse
-                pass
+            if self.persistent:
+                # keep whichever pool survived the run (respawns
+                # included) resident for the next submission
+                self._pool = pool
+            else:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # noqa: BLE001 - broken pools may refuse
+                    pass
 
         return (self._rows_from_results(workloads, results, stats,
                                         exec_stats),
@@ -408,16 +452,32 @@ class FleetExecutor:
 
     # -- entry point -------------------------------------------------------
 
-    def run(self, workloads: Optional[Iterable[Workload]] = None):
+    def run(self, workloads: Optional[Iterable[Workload]] = None, *,
+            config: Optional[HydraConfig] = None,
+            simulate_tls: Optional[bool] = None,
+            **jrpm_overrides):
         """Execute the fleet; returns a
-        :class:`~repro.jrpm.batch.FleetResult` in workload order."""
+        :class:`~repro.jrpm.batch.FleetResult` in workload order.
+
+        ``config`` / ``simulate_tls`` / extra keyword arguments
+        override the constructor defaults for this run only — a
+        persistent executor (the analysis service's) serves requests
+        with differing configurations from one warm pool.
+        """
         from repro.jrpm.batch import FleetResult
 
         fleet = list(workloads) if workloads is not None \
             else all_workloads()
+        run_config = self.config if config is None else config
+        run_tls = self.simulate_tls if simulate_tls is None \
+            else simulate_tls
+        kwargs = dict(self.jrpm_kwargs)
+        kwargs.update(jrpm_overrides)
         if self.jobs == 1:
-            rows, stats, exec_stats = self._run_serial(fleet)
+            rows, stats, exec_stats = self._run_serial(
+                fleet, run_config, run_tls, kwargs)
         else:
-            rows, stats, exec_stats = self._run_parallel(fleet)
+            rows, stats, exec_stats = self._run_parallel(
+                fleet, run_config, run_tls, kwargs)
         return FleetResult(rows, cache_stats=stats,
                            exec_stats=exec_stats)

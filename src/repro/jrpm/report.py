@@ -1,9 +1,14 @@
-"""Text rendering of pipeline results in the shape of the paper's
-tables and figures."""
+"""Rendering of pipeline results: text in the shape of the paper's
+tables and figures, plus the machine-readable JSON schema shared by
+``jrpm run --json``, ``jrpm fleet --json``, and the analysis service
+(one serializer, so CLI and service outputs are byte-identical for the
+same request)."""
 
 from __future__ import annotations
 
-from typing import List
+import json
+import math
+from typing import Any, Dict, List, Optional
 
 from repro.jrpm.pipeline import JrpmReport
 
@@ -100,3 +105,213 @@ def render_characteristics_row(report: JrpmReport) -> str:
                 avg_height,
                 wavg(threads_per_entry) if threads_per_entry else 0,
                 wavg(sizes) if sizes else 0))
+
+
+# ---------------------------------------------------------------------------
+# machine-readable report schema (shared by CLI --json and the service)
+# ---------------------------------------------------------------------------
+
+#: bump when the JSON layout changes shape; consumers pin against it
+REPORT_SCHEMA_VERSION = 1
+
+#: required top-level keys and their accepted types.  ``float`` accepts
+#: ints too (JSON has one number type); ``None`` marks nullable fields.
+REPORT_SCHEMA: Dict[str, tuple] = {
+    "schema_version": (int,),
+    "name": (str,),
+    "sequential_cycles": (int,),
+    "profiled_cycles": (int,),
+    "profiling_slowdown": (float, int),
+    "loops_profiled": (int,),
+    "coverage": (float, int),
+    "predicted_speedup": (float, int),
+    "actual_speedup": (float, int, type(None)),
+    "selection": (dict,),
+    "predicted_vs_actual": (dict, type(None)),
+    "engine": (dict, type(None)),
+}
+
+#: required keys of every row in ``selection["selected"]``
+SELECTION_ROW_SCHEMA: Dict[str, tuple] = {
+    "loop_id": (int,),
+    "cycles": (int,),
+    "coverage": (float, int),
+    "entries": (int,),
+    "threads": (int,),
+    "avg_iters_per_entry": (float, int),
+    "avg_thread_size": (float, int),
+    "predicted_speedup": (float, int),
+}
+
+
+class ReportSchemaError(ValueError):
+    """A report dict does not match :data:`REPORT_SCHEMA`."""
+
+
+def _finite(value: float) -> Optional[float]:
+    """NaN/inf are not JSON; serialize them as null."""
+    return value if value is not None and math.isfinite(value) else None
+
+
+def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
+    """The canonical machine-readable form of a pipeline run.
+
+    Everything the text renderers print — summary headline, the
+    Figure 10 selection table, the Figure 11 predicted-vs-actual rows,
+    and the trace-engine counters — in one stable JSON-friendly dict.
+    """
+    sel = report.selection
+    selected = []
+    for s in sel.selected:
+        st = s.stats
+        selected.append({
+            "loop_id": s.loop_id,
+            "cycles": st.cycles,
+            "coverage": (st.cycles / sel.total_cycles
+                         if sel.total_cycles else 0.0),
+            "entries": st.entries,
+            "threads": st.threads,
+            "avg_iters_per_entry": st.avg_iters_per_entry,
+            "avg_thread_size": st.avg_thread_size,
+            "predicted_speedup": s.estimate.speedup,
+        })
+    out: Dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "name": report.name,
+        "sequential_cycles": report.sequential_cycles,
+        "profiled_cycles": (report.profiled.cycles
+                            if report.profiled else 0),
+        "profiling_slowdown": report.profiling_slowdown,
+        "loops_profiled": len(report.device.stats),
+        "coverage": report.coverage,
+        "predicted_speedup": report.predicted_speedup,
+        "actual_speedup": (report.actual_speedup
+                           if report.outcome is not None else None),
+        "selection": {
+            "total_cycles": sel.total_cycles,
+            "serial_cycles": sel.serial_cycles,
+            "selected": selected,
+        },
+        "predicted_vs_actual": None,
+        "engine": None,
+    }
+    if report.outcome is not None:
+        rows = []
+        for loop_id, cycles, pred, actual, vrate in \
+                report.outcome.per_stl_rows():
+            rows.append({
+                "loop_id": loop_id,
+                "cycles": cycles,
+                "predicted_speedup": _finite(pred),
+                "actual_speedup": _finite(actual),
+                "violations_per_thread": _finite(vrate),
+            })
+        out["predicted_vs_actual"] = {
+            "predicted_normalized_time":
+                report.outcome.predicted_normalized_time,
+            "actual_normalized_time":
+                report.outcome.actual_normalized_time,
+            "rows": rows,
+        }
+    if report.engine is not None:
+        # wall-clock seconds are dropped: the canonical report must be
+        # deterministic for a given request (CLI and service emit
+        # byte-identical JSON), and timings never are
+        out["engine"] = {
+            kernel: {k: v for k, v in counters.items()
+                     if k != "seconds"}
+            for kernel, counters in report.engine.stats.snapshot().items()
+        }
+    return out
+
+
+def dumps_canonical(obj: Any) -> str:
+    """The one JSON encoding every producer uses (sorted keys, fixed
+    separators, strict — no NaN), so identical dicts are identical
+    bytes whether they came from the CLI or the service."""
+    return json.dumps(obj, sort_keys=True, indent=2,
+                      separators=(",", ": "), allow_nan=False)
+
+
+def report_json(report: JrpmReport) -> str:
+    """``jrpm run --json`` output: the canonical report serialization."""
+    return dumps_canonical(report_to_dict(report))
+
+
+def _check_keys(where: str, data: Dict[str, Any],
+                schema: Dict[str, tuple], problems: List[str]) -> None:
+    for key, types in schema.items():
+        if key not in data:
+            problems.append("%s: missing key %r" % (where, key))
+        elif not isinstance(data[key], types) \
+                or (bool not in types and isinstance(data[key], bool)):
+            problems.append("%s: key %r has type %s, expected %s"
+                            % (where, key, type(data[key]).__name__,
+                               "/".join(t.__name__ for t in types)))
+    for key in data:
+        if key not in schema:
+            problems.append("%s: unexpected key %r" % (where, key))
+
+
+def validate_report_dict(data: Dict[str, Any]) -> None:
+    """Assert ``data`` matches :data:`REPORT_SCHEMA` exactly.
+
+    Raises :class:`ReportSchemaError` listing every violation.  The
+    service handler runs this on every response it is about to send;
+    the schema-stability tests run it over every bundled workload.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        raise ReportSchemaError("report must be a dict, got %s"
+                                % type(data).__name__)
+    _check_keys("report", data, REPORT_SCHEMA, problems)
+    version = data.get("schema_version")
+    if isinstance(version, int) and version != REPORT_SCHEMA_VERSION:
+        problems.append("report: schema_version %r != %d"
+                        % (version, REPORT_SCHEMA_VERSION))
+    sel = data.get("selection")
+    if isinstance(sel, dict):
+        for key in ("total_cycles", "serial_cycles", "selected"):
+            if key not in sel:
+                problems.append("selection: missing key %r" % key)
+        for i, row in enumerate(sel.get("selected") or []):
+            _check_keys("selection.selected[%d]" % i, row,
+                        SELECTION_ROW_SCHEMA, problems)
+    pva = data.get("predicted_vs_actual")
+    if isinstance(pva, dict):
+        for key in ("predicted_normalized_time",
+                    "actual_normalized_time", "rows"):
+            if key not in pva:
+                problems.append("predicted_vs_actual: missing key %r"
+                                % key)
+    if problems:
+        raise ReportSchemaError("; ".join(problems))
+
+
+def fleet_to_dict(result, elapsed: Optional[float] = None,
+                  jobs: Optional[int] = None) -> Dict[str, Any]:
+    """``jrpm fleet --json`` payload: one report dict per successful
+    row (same serializer as ``jrpm run --json`` and the service), error
+    rows with their traceback, plus the sweep-level aggregates."""
+    rows: List[Dict[str, Any]] = []
+    for row in result:
+        if row.ok:
+            rows.append({"workload": row.name, "ok": True,
+                         "report": report_to_dict(row.report)})
+        else:
+            rows.append({"workload": row.name, "ok": False,
+                         "error": row.error, "trace": row.trace,
+                         "attempts": row.attempts})
+    out: Dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "rows": rows,
+        "median_slowdown": result.median_slowdown,
+        "geomean_prediction_ratio": result.geomean_prediction_ratio,
+        "cache_stats": result.cache_stats,
+        "exec_stats": result.exec_stats,
+    }
+    if elapsed is not None:
+        out["elapsed_s"] = round(elapsed, 3)
+    if jobs is not None:
+        out["jobs"] = jobs
+    return out

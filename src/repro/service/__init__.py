@@ -1,0 +1,42 @@
+"""The Jrpm analysis service: a long-lived daemon serving pipeline
+analyses over HTTP.
+
+The paper's Jrpm is a *resident* system — the JVM stays live while
+TEST profiles, selects STLs, and recompiles on the fly (Fig. 1,
+Sec. 5.2).  This package is that residency for the reproduction: one
+process keeps the :class:`~repro.jrpm.cache.ArtifactCache` and the
+:class:`~repro.jrpm.executor.FleetExecutor` worker pool warm across
+requests, coalesces duplicate in-flight work, batches compatible
+requests into single fleet submissions, sheds load past a bounded
+queue, and exposes live metrics.
+
+Entry points: ``jrpm serve`` on the command line, or
+:class:`AnalysisService` embedded in-process (tests, benches).
+"""
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    AnalyzeRequest,
+    ProtocolError,
+    parse_analyze_request,
+)
+from repro.service.scheduler import (
+    QueueFullError,
+    RequestScheduler,
+    SchedulerClosedError,
+    Ticket,
+)
+from repro.service.server import AnalysisService
+
+__all__ = [
+    "AnalysisService",
+    "AnalyzeRequest",
+    "LatencyHistogram",
+    "ProtocolError",
+    "QueueFullError",
+    "RequestScheduler",
+    "SchedulerClosedError",
+    "ServiceMetrics",
+    "Ticket",
+    "parse_analyze_request",
+]

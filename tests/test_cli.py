@@ -62,3 +62,147 @@ class TestCLI:
         with pytest.raises(SystemExit) as exc:
             main(["fleet", "--retries", "-2"])
         assert "--retries" in str(exc.value)
+
+
+class TestJsonOutput:
+    def test_run_json_is_canonical_and_valid(self, capsys):
+        import json
+
+        from repro.jrpm import (
+            REPORT_SCHEMA_VERSION,
+            dumps_canonical,
+            validate_report_dict,
+        )
+
+        assert main(["run", "IDEA", "--json"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        validate_report_dict(data)
+        assert data["name"] == "IDEA"
+        assert data["schema_version"] == REPORT_SCHEMA_VERSION
+        # the canonical encoding, byte for byte
+        assert out == dumps_canonical(data) + "\n"
+
+    def test_run_json_suppresses_text_report(self, capsys):
+        assert main(["run", "BitOps", "--no-tls", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "Jrpm report:" not in out
+        assert "predicted speedup" not in out
+
+    def test_fleet_json_embeds_run_json_reports(self, capsys):
+        import json
+
+        from repro.jrpm import dumps_canonical, validate_report_dict
+
+        assert main(["fleet", "--workloads", "IDEA,monteCarlo",
+                     "--no-tls", "--json"]) == 0
+        fleet_out = capsys.readouterr().out
+        data = json.loads(fleet_out)
+        assert fleet_out == dumps_canonical(data) + "\n"
+        assert [r["workload"] for r in data["rows"]] \
+            == ["IDEA", "monteCarlo"]
+        for row in data["rows"]:
+            assert row["ok"]
+            validate_report_dict(row["report"])
+        # satellite contract: the embedded report is byte-identical to
+        # what `jrpm run <name> --no-tls --json` prints
+        assert main(["run", "IDEA", "--no-tls", "--json"]) == 0
+        run_out = capsys.readouterr().out
+        assert dumps_canonical(data["rows"][0]["report"]) + "\n" \
+            == run_out
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir):
+        assert main(["fleet", "--workloads", "IDEA", "--no-tls",
+                     "--cache-dir", str(cache_dir)]) == 0
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 blobs" in out  # 4 pipeline stages for one workload
+        assert "profile" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["blobs"] == 4
+        assert data["quarantined"] == 0
+        assert set(data["stages"])  # per-stage breakdown present
+
+    def test_verify_clean_then_corrupt(self, tmp_path, capsys):
+        import os
+
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "4 ok, 0 corrupt" in capsys.readouterr().out
+
+        # truncate one blob: verify detects it, quarantines it, exits 1
+        victim = sorted(p for p in os.listdir(tmp_path)
+                        if p.endswith(".pkl"))[0]
+        path = os.path.join(str(tmp_path), victim)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "[quarantined]" in out
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_verify_no_quarantine_leaves_file(self, tmp_path, capsys):
+        import os
+
+        self._populate(tmp_path)
+        victim = sorted(p for p in os.listdir(tmp_path)
+                        if p.endswith(".pkl"))[0]
+        path = os.path.join(str(tmp_path), victim)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path),
+                     "--no-quarantine"]) == 1
+        assert os.path.exists(path)
+
+    def test_purge(self, tmp_path, capsys):
+        import os
+
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "purge", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "purged 4 file(s)" in out
+        assert not [p for p in os.listdir(tmp_path)
+                    if p.endswith(".pkl")]
+
+    def test_purge_keep_quarantined(self, tmp_path, capsys):
+        import os
+
+        self._populate(tmp_path)
+        victim = sorted(p for p in os.listdir(tmp_path)
+                        if p.endswith(".pkl"))[0]
+        path = os.path.join(str(tmp_path), victim)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert main(["cache", "purge", "--cache-dir", str(tmp_path),
+                     "--keep-quarantined"]) == 0
+        assert "purged 3 file(s)" in capsys.readouterr().out
+        assert os.path.exists(path + ".corrupt")
+
+    def test_missing_directory_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", "--cache-dir",
+                  str(tmp_path / "nope")])

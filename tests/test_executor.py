@@ -221,3 +221,80 @@ class TestCacheStatsPlumbing:
         result = run_fleet(sample_workloads[:1], simulate_tls=False)
         assert result.cache_stats == {}
         assert result.cache_hits == 0
+
+
+class TestSeedableJitter:
+    def test_retry_delay_uses_injected_rng(self):
+        import random
+
+        a = FleetExecutor(retries=2, backoff=0.5,
+                          rng=random.Random(1234))
+        b = FleetExecutor(retries=2, backoff=0.5,
+                          rng=random.Random(1234))
+        delays_a = [a._retry_delay(n) for n in (1, 2, 3)]
+        delays_b = [b._retry_delay(n) for n in (1, 2, 3)]
+        assert delays_a == delays_b
+        # exponential envelope with up-to-25% jitter on top
+        for n, delay in zip((1, 2, 3), delays_a):
+            base = 0.5 * 2 ** (n - 1)
+            assert base <= delay <= base * 1.25
+
+    def test_different_seeds_jitter_differently(self):
+        import random
+
+        a = FleetExecutor(backoff=0.5, rng=random.Random(1))
+        b = FleetExecutor(backoff=0.5, rng=random.Random(2))
+        assert [a._retry_delay(n) for n in (1, 2, 3)] \
+            != [b._retry_delay(n) for n in (1, 2, 3)]
+
+    def test_default_rng_still_jitters(self):
+        delays = {FleetExecutor(backoff=0.5)._retry_delay(1)
+                  for _ in range(8)}
+        for delay in delays:
+            assert 0.5 <= delay <= 0.625
+
+
+class TestPersistentPool:
+    def test_per_run_overrides(self, sample_workloads):
+        """One resident executor serves mixed traffic: run() accepts
+        workloads, config, and simulate_tls per call (the service
+        scheduler's batching depends on this)."""
+        from repro.hydra import HydraConfig
+
+        with FleetExecutor(persistent=True) as ex:
+            base = ex.run(sample_workloads[:1], simulate_tls=False)
+            tls = ex.run(sample_workloads[:1], simulate_tls=True)
+            tuned = ex.run(sample_workloads[:1], simulate_tls=False,
+                           config=HydraConfig(n_cpus=8))
+        assert base.rows[0].report.outcome is None
+        assert tls.rows[0].report.outcome is not None
+        assert tuned.rows[0].name == base.rows[0].name
+
+    def test_serial_close_is_idempotent(self, sample_workloads):
+        ex = FleetExecutor(persistent=True)
+        ex.run(sample_workloads[:1], simulate_tls=False)
+        ex.close()
+        ex.close()
+
+    def test_parallel_pool_survives_runs(self, sample_workloads,
+                                         tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        ex = FleetExecutor(jobs=2, cache=cache, persistent=True)
+        try:
+            first = ex.run(sample_workloads[:2], simulate_tls=False)
+            assert ex._pool is not None
+            pool = ex._pool
+            second = ex.run(sample_workloads[:2], simulate_tls=False)
+            assert ex._pool is pool  # reused, not respawned
+        finally:
+            ex.close()
+        assert ex._pool is None
+        assert [r.name for r in first] == [r.name for r in second]
+        assert second.cache_hits > 0
+
+    def test_non_persistent_run_leaves_no_pool(self, sample_workloads,
+                                               tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        ex = FleetExecutor(jobs=2, cache=cache)
+        ex.run(sample_workloads[:1], simulate_tls=False)
+        assert ex._pool is None
