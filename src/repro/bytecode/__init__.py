@@ -25,7 +25,11 @@ from repro.bytecode.opcodes import (
     UnOp,
 )
 from repro.bytecode.program import Function, Program
-from repro.bytecode.verifier import verify_function, verify_program
+from repro.bytecode.verifier import (
+    find_unreachable,
+    verify_function,
+    verify_program,
+)
 
 __all__ = [
     "ANNOTATION_OPS",
@@ -42,6 +46,7 @@ __all__ = [
     "UnOp",
     "disassemble",
     "disassemble_function",
+    "find_unreachable",
     "verify_function",
     "verify_program",
 ]

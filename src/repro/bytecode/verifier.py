@@ -14,7 +14,53 @@ from repro.bytecode.program import Function, Program
 from repro.errors import BytecodeError
 
 
-def verify_function(fn: Function, program: Program = None) -> None:
+def find_unreachable(fn: Function) -> List[int]:
+    """Program counters that no path from pc 0 can reach.
+
+    Control flows pc+1 except through ``JMP``/``BR`` (explicit targets)
+    and ``RET`` (no successor).  Codegen legitimately emits a little
+    dead *padding* — a trailing ``RET`` after a body whose every path
+    already returns, or ``NOP``s left by rewriting passes — so callers
+    that want rejection should filter on opcode (see
+    :func:`verify_function`'s ``reject_unreachable``).
+    """
+    code = fn.code
+    n = len(code)
+    seen = [False] * n
+    work = [0] if n else []
+    while work:
+        pc = work.pop()
+        if pc < 0 or pc >= n or seen[pc]:
+            continue
+        seen[pc] = True
+        op = code[pc].op
+        if op == Op.RET:
+            continue
+        if op == Op.JMP:
+            work.append(code[pc].a)
+        elif op == Op.BR:
+            work.append(code[pc].b)
+            work.append(code[pc].c)
+        else:
+            work.append(pc + 1)
+    return [pc for pc in range(n) if not seen[pc]]
+
+
+#: opcodes tolerated in unreachable positions even under
+#: ``reject_unreachable`` (structural padding, not live code):
+#: stray ``RET``/``NOP``, plus ``JMP`` — codegen emits a dead join
+#: jump after an ``if`` arm whose every path already returned, and a
+#: jump computes nothing, so a dead one can never be orphaned work
+_DEAD_PADDING_OPS = (Op.RET, Op.NOP, Op.JMP)
+
+#: additionally tolerated in an unreachable *trailing* suffix only:
+#: codegen ends every function with an implicit ``return 0`` epilogue
+#: (``CONST x, 0; RET x``), dead when every source path returns
+_DEAD_EPILOGUE_OPS = (Op.RET, Op.NOP, Op.CONST)
+
+
+def verify_function(fn: Function, program: Program = None,
+                    reject_unreachable: bool = False) -> None:
     """Raise :class:`BytecodeError` if ``fn`` is malformed.
 
     Invariants checked:
@@ -26,7 +72,14 @@ def verify_function(fn: Function, program: Program = None) -> None:
     * BIN/UN sub-opcodes are valid;
     * CALL targets exist when ``program`` is provided;
     * intrinsic names are known;
-    * annotation instructions reference plausible loop ids / slots.
+    * annotation instructions reference plausible loop ids / slots;
+    * with ``reject_unreachable``, no unreachable block of live
+      instructions exists — rewriting passes must not orphan code they
+      meant to keep.  Off by default because codegen's dead padding is
+      legal: stray ``RET``/``NOP``, dead join jumps after
+      returning ``if`` arms, plus the implicit ``return 0`` epilogue
+      (``CONST``/``RET`` trailing suffix) emitted after a body whose
+      every path returns.  The conformance fuzz campaign turns it on.
     """
     code = fn.code
     if not code:
@@ -143,6 +196,20 @@ def verify_function(fn: Function, program: Program = None) -> None:
 
     _check_loop_annotations(fn)
 
+    if reject_unreachable:
+        unreachable = find_unreachable(fn)
+        deadset = set(unreachable)
+        tail = n
+        while tail - 1 in deadset \
+                and code[tail - 1].op in _DEAD_EPILOGUE_OPS:
+            tail -= 1
+        dead = [pc for pc in unreachable if pc < tail
+                and code[pc].op not in _DEAD_PADDING_OPS]
+        if dead:
+            raise BytecodeError(
+                "%s: unreachable block of live code at pc(s) %s"
+                % (fn.name, ", ".join(str(pc) for pc in dead)))
+
 
 def _check_loop_annotations(fn: Function) -> None:
     """SLOOP/ELOOP must reference consistent loop ids.
@@ -165,7 +232,8 @@ def _check_loop_annotations(fn: Function) -> None:
                 % (fn.name, pc, op.name, loop_id))
 
 
-def verify_program(program: Program) -> None:
+def verify_program(program: Program,
+                   reject_unreachable: bool = False) -> None:
     """Verify every function plus program-level invariants."""
     if program.entry not in program.functions:
         raise BytecodeError("missing entry function %r" % program.entry)
@@ -174,4 +242,5 @@ def verify_program(program: Program) -> None:
         raise BytecodeError(
             "entry function %r must take no parameters" % program.entry)
     for fn in program.functions.values():
-        verify_function(fn, program)
+        verify_function(fn, program,
+                        reject_unreachable=reject_unreachable)

@@ -1,0 +1,66 @@
+"""Differential conformance layer: estimator-vs-simulator oracle,
+four-path fuzz campaigns with delta-debugging shrinking, and the golden
+corpus gate (DESIGN.md §9).
+
+Three entry points, all reachable through ``jrpm conform``:
+
+* :func:`~repro.conformance.oracle.run_oracle` — every registered
+  workload through both the TEST estimator (Eq. 1/2) and the TLS
+  simulator, with per-STL and per-workload prediction error and the
+  paper's same-winner shape claim asserted;
+* :func:`~repro.conformance.campaign.run_campaign` — seeded fuzz
+  programs executed along four paths (fast interpreter, traced
+  dispatch, annotated, optimized) under runtime invariants, failures
+  minimized by :func:`~repro.conformance.shrinker.shrink_source` and
+  saved as repros;
+* :func:`~repro.conformance.goldens.update_goldens` — the generated
+  golden corpus behind ``tests/goldens.json``.
+"""
+
+from repro.conformance.campaign import (
+    CampaignFailure,
+    CampaignResult,
+    replay_seed,
+    run_campaign,
+)
+from repro.conformance.invariants import (
+    CheckOutcome,
+    ConformanceViolation,
+    check_monotonic,
+    check_source,
+)
+from repro.conformance.goldens import (
+    GOLDENS_VERSION,
+    compute_goldens,
+    goldens_drift,
+    goldens_payload,
+    update_goldens,
+)
+from repro.conformance.oracle import (
+    DEFAULT_ERROR_BOUND,
+    OracleReport,
+    WorkloadConformance,
+    run_oracle,
+)
+from repro.conformance.shrinker import shrink_source
+
+__all__ = [
+    "CampaignFailure",
+    "CampaignResult",
+    "CheckOutcome",
+    "ConformanceViolation",
+    "DEFAULT_ERROR_BOUND",
+    "GOLDENS_VERSION",
+    "OracleReport",
+    "WorkloadConformance",
+    "check_monotonic",
+    "check_source",
+    "compute_goldens",
+    "goldens_drift",
+    "goldens_payload",
+    "replay_seed",
+    "run_campaign",
+    "run_oracle",
+    "shrink_source",
+    "update_goldens",
+]

@@ -1,0 +1,267 @@
+"""Seeded fuzz campaigns over the four-path differential checker.
+
+A campaign generates ``count`` programs from consecutive seeds, runs
+each through :func:`~repro.conformance.invariants.check_source` (fanned
+out over :class:`~repro.jrpm.executor.FleetExecutor` worker processes
+when ``jobs > 1``), then delta-debugs every failure down to a minimal
+reproducer and saves it under ``conformance/repros/`` with its seed and
+violation kind in a comment header.  Any single seed replays in
+isolation with ``jrpm conform --seed N`` (or :func:`replay_seed`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.conformance.invariants import (
+    KIND_CRASH,
+    ConformanceViolation,
+    check_source,
+)
+from repro.conformance.shrinker import shrink_source
+from repro.fuzz.generator import generate_program
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jrpm.executor import FleetExecutor
+from repro.workloads.registry import Workload
+
+#: campaign base seed when neither the CLI nor JRPM_TEST_SEED picks one
+DEFAULT_FUZZ_SEED = 20260807
+
+#: where shrunk reproducers land, relative to the repo root
+DEFAULT_REPRO_DIR = os.path.join("conformance", "repros")
+
+
+class FuzzRow:
+    """One seed's clean pass (fleet-row protocol)."""
+
+    ok = True
+
+    def __init__(self, seed: int, outcome):
+        self.seed = seed
+        self.outcome = outcome
+
+    @property
+    def name(self) -> str:
+        return "fuzz-%d" % self.seed
+
+
+class CampaignFailure:
+    """One seed's violation, plus its shrunk reproducer."""
+
+    ok = False
+
+    def __init__(self, seed: int, kind: str, detail: str, source: str,
+                 crash_class: Optional[str] = None):
+        self.seed = seed
+        self.kind = kind
+        self.detail = detail
+        self.source = source
+        #: exception class name for ``kind == "crash"`` findings; the
+        #: shrink predicate matches on it so a reduction that merely
+        #: stops compiling never counts as a reproduction
+        self.crash_class = crash_class
+        self.shrunk: Optional[str] = None
+        self.repro_path: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return "fuzz-%d" % self.seed
+
+    @property
+    def error(self) -> str:
+        return "%s: %s" % (self.kind, self.detail)
+
+    @property
+    def shrunk_lines(self) -> int:
+        text = self.shrunk if self.shrunk is not None else self.source
+        return len(text.splitlines())
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "kind": self.kind,
+            "detail": self.detail,
+            "crash_class": self.crash_class,
+            "source_lines": len(self.source.splitlines()),
+            "shrunk_lines": self.shrunk_lines,
+            "repro": self.repro_path,
+        }
+
+
+def _check_one(workload: Workload, checker: Callable,
+               config: HydraConfig):
+    """Run one fuzz workload through ``checker``; classify the result."""
+    seed = int(workload.dataset)
+    source = workload.source()
+    try:
+        outcome = checker(source, seed=seed, name=workload.name,
+                          config=config)
+        return FuzzRow(seed, outcome)
+    except ConformanceViolation as exc:
+        return CampaignFailure(seed, exc.kind, exc.detail, source)
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return CampaignFailure(seed, KIND_CRASH, repr(exc), source,
+                               crash_class=type(exc).__name__)
+
+
+def conformance_task(workload: Workload,
+                     config: HydraConfig = DEFAULT_HYDRA,
+                     simulate_tls: bool = True, cache=None, **kwargs):
+    """Fleet task for fuzz workloads (module-level, hence picklable
+    for parallel campaigns)."""
+    return _check_one(workload, check_source, config)
+
+
+def fuzz_workloads(base_seed: int, count: int) -> List[Workload]:
+    """One synthetic :class:`Workload` per seed; the seed rides in
+    ``dataset`` so it survives the trip through worker processes."""
+    return [
+        Workload(name="fuzz-%d" % seed, category="fuzz",
+                 description="generated program, seed %d" % seed,
+                 source_text=generate_program(seed),
+                 dataset=str(seed))
+        for seed in range(base_seed, base_seed + count)
+    ]
+
+
+def _shrink_predicate(failure: CampaignFailure, checker: Callable,
+                      config: HydraConfig) -> Callable[[str], bool]:
+    """True iff a candidate still fails with the same violation kind
+    (same exception class, for crashes).  Compile errors and clean
+    passes are both "no repro"."""
+    def predicate(candidate: str) -> bool:
+        try:
+            checker(candidate, seed=failure.seed, name=failure.name,
+                    config=config)
+            return False
+        except ConformanceViolation as exc:
+            return exc.kind == failure.kind
+        except Exception as exc:  # noqa: BLE001 - classify, never leak
+            return failure.kind == KIND_CRASH \
+                and type(exc).__name__ == failure.crash_class
+    return predicate
+
+
+def save_repro(failure: CampaignFailure, repro_dir: str) -> str:
+    """Write the (shrunk) reproducer with a replayable header."""
+    os.makedirs(repro_dir, exist_ok=True)
+    path = os.path.join(repro_dir,
+                        "seed-%d-%s.mj" % (failure.seed, failure.kind))
+    body = failure.shrunk if failure.shrunk is not None \
+        else failure.source
+    header = [
+        "// conformance repro (generated by `jrpm conform`)",
+        "// seed: %d" % failure.seed,
+        "// kind: %s" % failure.kind,
+        "// detail: %s" % failure.detail.replace("\n", " "),
+        "// replay: jrpm conform --fuzz 1 --seed %d" % failure.seed,
+    ]
+    with open(path, "w") as fh:
+        fh.write("\n".join(header) + "\n" + body + "\n")
+    failure.repro_path = path
+    return path
+
+
+class CampaignResult:
+    """Outcome of one fuzz campaign."""
+
+    def __init__(self, base_seed: int, count: int, rows: List):
+        self.base_seed = base_seed
+        self.count = count
+        self.rows = rows
+
+    @property
+    def failures(self) -> List[CampaignFailure]:
+        return [r for r in self.rows
+                if isinstance(r, CampaignFailure)]
+
+    @property
+    def fleet_errors(self) -> List:
+        """Worker-level failures (infrastructure, not findings)."""
+        return [r for r in self.rows
+                if not r.ok and not isinstance(r, CampaignFailure)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.fleet_errors
+
+    @property
+    def checked(self) -> int:
+        return sum(1 for r in self.rows if r.ok)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "campaign",
+            "base_seed": self.base_seed,
+            "count": self.count,
+            "checked": self.checked,
+            "failures": [f.to_dict() for f in self.failures],
+            "fleet_errors": [getattr(r, "error", repr(r))
+                             for r in self.fleet_errors],
+        }
+
+    def render(self) -> str:
+        lines = ["fuzz campaign: %d/%d programs clean (base seed %d)"
+                 % (self.checked, self.count, self.base_seed)]
+        for f in self.failures:
+            lines.append(
+                "  seed %d: %s (%d -> %d lines)%s"
+                % (f.seed, f.kind, len(f.source.splitlines()),
+                   f.shrunk_lines,
+                   " -> %s" % f.repro_path if f.repro_path else ""))
+            lines.append("    replay: jrpm conform --fuzz 1 --seed %d"
+                         % f.seed)
+        for r in self.fleet_errors:
+            lines.append("  %s: worker failed: %s"
+                         % (r.name, getattr(r, "error", "?")))
+        return "\n".join(lines)
+
+
+def run_campaign(count: int = 200,
+                 base_seed: int = DEFAULT_FUZZ_SEED,
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 jobs: int = 1,
+                 shrink: bool = True,
+                 repro_dir: Optional[str] = None,
+                 checker: Optional[Callable] = None,
+                 max_checks: int = 2000) -> CampaignResult:
+    """Fuzz ``count`` consecutive seeds starting at ``base_seed``.
+
+    ``checker`` substitutes the per-program check (tests inject a
+    poisoned one to exercise the shrink-and-save path); a custom
+    checker forces the serial fleet, since closures don't pickle.
+    Failures are shrunk with :func:`shrink_source` and, when
+    ``repro_dir`` is given, saved via :func:`save_repro`.
+    """
+    if checker is None:
+        task: Callable = conformance_task
+    else:
+        jobs = 1
+
+        def task(workload, config=DEFAULT_HYDRA, simulate_tls=True,
+                 cache=None, **kwargs):
+            return _check_one(workload, checker, config)
+
+    executor = FleetExecutor(jobs=jobs, config=config, on_error="row",
+                             task=task)
+    result = executor.run(fuzz_workloads(base_seed, count))
+    campaign = CampaignResult(base_seed, count, list(result.rows))
+    active_checker = checker if checker is not None else check_source
+    for failure in campaign.failures:
+        if shrink:
+            predicate = _shrink_predicate(failure, active_checker,
+                                          config)
+            failure.shrunk = shrink_source(failure.source, predicate,
+                                           max_checks=max_checks)
+        if repro_dir is not None:
+            save_repro(failure, repro_dir)
+    return campaign
+
+
+def replay_seed(seed: int, config: HydraConfig = DEFAULT_HYDRA):
+    """Re-run one generated program through every check; raises
+    :class:`ConformanceViolation` on failure, returns the
+    :class:`CheckOutcome` when clean."""
+    return check_source(generate_program(seed), seed=seed,
+                        name="fuzz-%d" % seed, config=config)

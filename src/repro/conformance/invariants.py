@@ -1,0 +1,252 @@
+"""Four-path differential execution plus runtime-invariant checks.
+
+One generated (or hand-written) program is executed along four paths:
+
+1. **fast** — the plain interpreter with no listener attached, which
+   takes the memoized dispatch fast path;
+2. **traced** — the same program with a no-op :class:`TraceListener`,
+   forcing the instrumented dispatch loop;
+3. **annotated** — TEST annotations at ``OPTIMIZED`` level with the
+   profiling device and a columnar recording attached;
+4. **optimized** — the microJIT scalar optimizer applied to a copy.
+
+All four must agree on the return value; paths 1/2 must agree on exact
+cycle and instruction counts (any drift is a dispatch-table bug).  On
+top of the differential checks, the annotated run's byproducts are fed
+through every runtime invariant the tracer and the TLS simulator
+export: timestamp monotonicity of the columnar trace, TEST event
+balance, critical-arc minimality and the other
+:meth:`STLStats.invariant_errors` rules, speculative-buffer overflow
+points landing inside their thread, and the
+:meth:`TLSResult.invariant_errors` timing bounds.
+
+A failed check raises :class:`ConformanceViolation` with a stable
+``kind`` string; the campaign driver shrinks on "same kind", so kinds
+must be deterministic for a given bug, not message-exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cfg.candidates import find_candidates
+from repro.errors import ReproError, TracerError
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jit.annotate import AnnotationLevel, annotate_program
+from repro.jit.optimize import optimize_program
+from repro.jit.speculative import compile_stl
+from repro.lang.codegen import compile_source
+from repro.runtime.events import (
+    ColumnarRecording,
+    MulticastListener,
+    TraceListener,
+)
+from repro.runtime.interpreter import run_program
+from repro.tls.engine import TraceEngine
+from repro.tls.simulator import (
+    elimination_key,
+    overflow_point,
+    prepare_view,
+)
+from repro.tls.stats import ProgramTLSOutcome
+from repro.tracer.device import TestDevice
+from repro.tracer.selector import select_stls
+from repro.bytecode.verifier import verify_program
+
+
+#: stable violation kinds (the shrinker's predicate matches on these)
+KIND_UNREACHABLE = "unreachable-code"
+KIND_DISPATCH = "dispatch-divergence"
+KIND_ANNOTATION = "annotation-divergence"
+KIND_ANNOTATION_CYCLES = "annotation-cycles"
+KIND_EVENT_BALANCE = "event-balance"
+KIND_MONOTONICITY = "timestamp-monotonicity"
+KIND_STATS = "stats-invariant"
+KIND_OPTIMIZER = "optimizer-divergence"
+KIND_OPT_REGRESSION = "optimizer-regression"
+KIND_TLS_INVARIANT = "tls-invariant"
+KIND_TLS_BOUNDS = "tls-bounds"
+KIND_BUFFER_LIMIT = "buffer-limit"
+KIND_CRASH = "crash"
+
+
+class ConformanceViolation(ReproError):
+    """A differential or invariant check failed for one program."""
+
+    def __init__(self, kind: str, detail: str,
+                 seed: Optional[int] = None):
+        self.kind = kind
+        self.detail = detail
+        self.seed = seed
+        tag = "" if seed is None else " [seed %d]" % seed
+        super().__init__("%s%s: %s" % (kind, tag, detail))
+
+
+class CheckOutcome:
+    """Summary of one program's clean pass through all four paths."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.return_value = None
+        self.fast_cycles = 0
+        self.annotated_cycles = 0
+        self.optimized_instructions = 0
+        self.n_events = 0
+        self.n_loops = 0
+        self.selected_ids: List[int] = []
+        self.tls_simulated = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("CheckOutcome(%s ret=%r loops=%d selected=%r)"
+                % (self.name, self.return_value, self.n_loops,
+                   self.selected_ids))
+
+
+def check_monotonic(cycles) -> Optional[int]:
+    """Index of the first out-of-order timestamp, or None if sorted."""
+    prev = None
+    for i, c in enumerate(cycles):
+        if prev is not None and c < prev:
+            return i
+        prev = c
+    return None
+
+
+def _raise(kind: str, detail: str, seed: Optional[int]) -> None:
+    raise ConformanceViolation(kind, detail, seed)
+
+
+def check_source(source: str, seed: Optional[int] = None,
+                 name: str = "fuzz",
+                 config: HydraConfig = DEFAULT_HYDRA,
+                 max_instructions: int = 5_000_000) -> CheckOutcome:
+    """Run ``source`` down all four paths and every runtime invariant.
+
+    Returns a :class:`CheckOutcome` on success; raises
+    :class:`ConformanceViolation` on the first failed check.  Compile
+    errors propagate as their native exceptions (the campaign treats a
+    non-compiling candidate as invalid, not as a finding).
+    """
+    outcome = CheckOutcome(name)
+    program = compile_source(source)
+
+    # Codegen must never emit live unreachable blocks (trailing RET/NOP
+    # padding after exhaustive returns is tolerated by the verifier).
+    # Checked on the pristine program only: constant folding in the
+    # optimizer can legitimately strand a branch arm.
+    try:
+        verify_program(program, reject_unreachable=True)
+    except ReproError as exc:
+        _raise(KIND_UNREACHABLE, str(exc), seed)
+
+    # path 1: fast dispatch (no listener)
+    fast = run_program(program, max_instructions=max_instructions)
+    outcome.return_value = fast.return_value
+    outcome.fast_cycles = fast.cycles
+
+    # path 2: instrumented dispatch with a no-op listener — identical
+    # observable behaviour is the whole contract of the fast path
+    traced = run_program(program, listener=TraceListener(),
+                         max_instructions=max_instructions)
+    if (traced.return_value, traced.cycles, traced.instructions) != \
+            (fast.return_value, fast.cycles, fast.instructions):
+        _raise(KIND_DISPATCH,
+               "fast=(%r, %d cyc, %d ins) traced=(%r, %d cyc, %d ins)"
+               % (fast.return_value, fast.cycles, fast.instructions,
+                  traced.return_value, traced.cycles,
+                  traced.instructions), seed)
+
+    # path 3: annotated + TEST device + columnar recording
+    candidates = find_candidates(program)
+    annotated = annotate_program(program, candidates,
+                                 AnnotationLevel.OPTIMIZED)
+    device = TestDevice(config)
+    for lid, cand in annotated.annotated_loops.items():
+        device.register_loop_locals(lid, cand.tracked_locals)
+    recording = ColumnarRecording()
+    profiled = run_program(
+        annotated.program,
+        listener=MulticastListener([device, recording]),
+        max_instructions=max_instructions)
+    try:
+        device.finish()
+    except TracerError as exc:
+        _raise(KIND_EVENT_BALANCE, str(exc), seed)
+    if profiled.return_value != fast.return_value:
+        _raise(KIND_ANNOTATION, "annotated run returned %r, plain %r"
+               % (profiled.return_value, fast.return_value), seed)
+    if profiled.cycles < fast.cycles:
+        _raise(KIND_ANNOTATION_CYCLES,
+               "annotation removed cycles (%d < %d)"
+               % (profiled.cycles, fast.cycles), seed)
+    outcome.annotated_cycles = profiled.cycles
+    outcome.n_events = len(recording)
+    outcome.n_loops = len(device.stats)
+
+    bad = check_monotonic(recording.cycles)
+    if bad is not None:
+        _raise(KIND_MONOTONICITY,
+               "event %d at cycle %d after cycle %d"
+               % (bad, recording.cycles[bad], recording.cycles[bad - 1]),
+               seed)
+    for loop_id, stats in sorted(device.stats.items()):
+        errs = stats.invariant_errors()
+        if errs:
+            _raise(KIND_STATS, "; ".join(errs), seed)
+
+    # path 4: scalar optimizer on a copy
+    clone = program.copy()
+    optimize_program(clone)
+    optimized = run_program(clone, max_instructions=max_instructions)
+    if optimized.return_value != fast.return_value:
+        _raise(KIND_OPTIMIZER, "optimized run returned %r, plain %r"
+               % (optimized.return_value, fast.return_value), seed)
+    if optimized.instructions > fast.instructions:
+        _raise(KIND_OPT_REGRESSION,
+               "optimizer grew instruction count (%d > %d)"
+               % (optimized.instructions, fast.instructions), seed)
+    outcome.optimized_instructions = optimized.instructions
+
+    # TLS checks, reusing the path-3 byproducts (no second profile)
+    selection = select_stls(device, profiled.cycles, config)
+    outcome.selected_ids = selection.selected_ids()
+    engine = TraceEngine(recording)
+    tls_results = {}
+    for sel in selection.selected:
+        cand = candidates.by_id.get(sel.loop_id)
+        if cand is None:
+            continue
+        comp = compile_stl(cand, config)
+        tls = engine.simulate(comp, config)
+        tls_results[sel.loop_id] = tls
+        outcome.tls_simulated += 1
+        errs = tls.invariant_errors(config)
+        if errs:
+            _raise(KIND_TLS_INVARIANT,
+                   "loop %d: %s" % (sel.loop_id, "; ".join(errs)), seed)
+        if tls.sequential_cycles > profiled.cycles:
+            _raise(KIND_TLS_BOUNDS,
+                   "loop %d sequential %d exceeds whole run %d"
+                   % (sel.loop_id, tls.sequential_cycles,
+                      profiled.cycles), seed)
+        # speculative-buffer limits: an overflow, if any, must land
+        # inside its thread's window
+        eliminated = elimination_key(comp)
+        for entry in engine.split(sel.loop_id):
+            for thread in entry.threads:
+                _, _, heap_seq = prepare_view(thread, eliminated)
+                ov = overflow_point(heap_seq, config)
+                if ov is not None and not 0 <= ov <= thread.size:
+                    _raise(KIND_BUFFER_LIMIT,
+                           "loop %d overflow at rel %d outside thread "
+                           "of %d cycles" % (sel.loop_id, ov,
+                                             thread.size), seed)
+    if tls_results:
+        program_outcome = ProgramTLSOutcome(selection, tls_results)
+        if not (0.0 < program_outcome.actual_speedup
+                <= config.n_cpus + 1e-9):
+            _raise(KIND_TLS_BOUNDS,
+                   "program actual speedup %.3f outside (0, %d]"
+                   % (program_outcome.actual_speedup, config.n_cpus),
+                   seed)
+    return outcome

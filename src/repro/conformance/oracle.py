@@ -1,0 +1,302 @@
+"""The estimator-vs-simulator differential oracle (Figure 11 as a gate).
+
+Every registered workload runs once through the full Jrpm pipeline;
+the oracle then compares stage 3's Equation 1 *predictions* against
+stage 5's TLS-simulated *actuals*, per selected STL and per workload,
+and turns the paper's qualitative claim — the TEST estimate tracks the
+simulated outcome closely enough to pick the right loops — into two
+checked properties:
+
+* **bounded error** — each workload's relative speedup prediction
+  error stays within :data:`DEFAULT_ERROR_BOUND` (measured outliers
+  carry their own documented bound in :data:`KNOWN_ERROR_OUTLIERS`);
+* **same winner** — among a workload's selected STLs, the loop the
+  estimator ranks as the biggest cycle saver is the loop the simulator
+  ranks first too (documented exceptions in
+  :data:`KNOWN_WINNER_MISMATCHES`).
+
+EXPERIMENTS.md records the measured numbers behind every bound and
+exception; ``jrpm conform`` runs this as the CI conformance gate and
+emits the machine-readable report via :meth:`OracleReport.to_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
+from repro.jrpm.cache import ArtifactCache
+from repro.jrpm.executor import FleetExecutor
+from repro.jrpm.pipeline import Jrpm
+from repro.workloads.registry import Workload, all_workloads
+
+#: workload-level relative-error ceiling on predicted vs actual
+#: speedup, |pred - act| / act.  Set from the measured distribution
+#: (EXPERIMENTS.md "Estimator conformance"): excluding the documented
+#: outlier, the corpus maximum is 30.7% (jess); 40% leaves headroom
+#: for config drift without masking a broken estimator.
+DEFAULT_ERROR_BOUND = 0.40
+
+#: measured per-workload exceptions to :data:`DEFAULT_ERROR_BOUND`
+#: (workload name -> documented looser bound).  Keep in sync with
+#: EXPERIMENTS.md.  BitOps measures 156.7%: its single selected loop
+#: is violation-free in Equation 1's model but misspeculates heavily
+#: in the simulator, and with one loop there is no winner ranking to
+#: save it.
+KNOWN_ERROR_OUTLIERS: Dict[str, float] = {"BitOps": 1.70}
+
+#: workloads where the estimator's top-ranked STL is documented to
+#: differ from the simulator's (EXPERIMENTS.md).  The winner assertion
+#: skips these by name.  euler's top two loops' savings sit within 6%
+#: of each other both predicted and actual, so ranking noise flips the
+#: order; in Huffman, Equation 1's arc penalty underrates the inner
+#: bit-chase loop (L1) that the simulator finds most profitable.
+KNOWN_WINNER_MISMATCHES: frozenset = frozenset({"Huffman", "euler"})
+
+
+class STLConformance:
+    """Prediction vs simulation for one selected loop."""
+
+    def __init__(self, loop_id: int, predicted_cycles: float,
+                 actual_cycles: int, sequential_cycles: int):
+        self.loop_id = loop_id
+        self.predicted_cycles = predicted_cycles
+        self.actual_cycles = actual_cycles
+        self.sequential_cycles = sequential_cycles
+
+    @property
+    def predicted_savings(self) -> float:
+        return self.sequential_cycles - self.predicted_cycles
+
+    @property
+    def actual_savings(self) -> float:
+        return float(self.sequential_cycles - self.actual_cycles)
+
+    @property
+    def rel_error(self) -> float:
+        """|predicted - actual| / actual parallel cycles."""
+        if self.actual_cycles <= 0:
+            return 0.0
+        return abs(self.predicted_cycles - self.actual_cycles) \
+            / self.actual_cycles
+
+    def to_dict(self) -> Dict:
+        return {
+            "loop_id": self.loop_id,
+            "predicted_cycles": round(self.predicted_cycles, 1),
+            "actual_cycles": self.actual_cycles,
+            "sequential_cycles": self.sequential_cycles,
+            "rel_error": round(self.rel_error, 4),
+        }
+
+
+class WorkloadConformance:
+    """One workload's oracle row (also the fleet-row protocol:
+    ``.ok`` / ``.name``)."""
+
+    ok = True
+
+    def __init__(self, name: str, category: str,
+                 predicted_speedup: float, actual_speedup: float,
+                 coverage: float, stls: List[STLConformance],
+                 winner_predicted: Optional[int],
+                 winner_actual: Optional[int]):
+        self.name = name
+        self.category = category
+        self.predicted_speedup = predicted_speedup
+        self.actual_speedup = actual_speedup
+        self.coverage = coverage
+        self.stls = stls
+        self.winner_predicted = winner_predicted
+        self.winner_actual = winner_actual
+
+    @property
+    def rel_error(self) -> float:
+        """Workload-level |pred - act| / act on the speedup."""
+        if self.actual_speedup <= 0:
+            return 0.0
+        return abs(self.predicted_speedup - self.actual_speedup) \
+            / self.actual_speedup
+
+    @property
+    def winner_match(self) -> bool:
+        """True when the estimator and the simulator rank the same STL
+        first (vacuously true with fewer than two selected loops)."""
+        if len(self.stls) < 2:
+            return True
+        return self.winner_predicted == self.winner_actual
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "predicted_speedup": round(self.predicted_speedup, 4),
+            "actual_speedup": round(self.actual_speedup, 4),
+            "rel_error": round(self.rel_error, 4),
+            "coverage": round(self.coverage, 4),
+            "winner_predicted": self.winner_predicted,
+            "winner_actual": self.winner_actual,
+            "winner_match": self.winner_match,
+            "stls": [s.to_dict() for s in self.stls],
+        }
+
+
+def conformance_row(name: str, category: str, report
+                    ) -> WorkloadConformance:
+    """Distill one :class:`JrpmReport` into its oracle row."""
+    stls: List[STLConformance] = []
+    for sel in report.selection.selected:
+        tls = report.tls_results.get(sel.loop_id)
+        if tls is None:
+            continue
+        stls.append(STLConformance(
+            sel.loop_id, sel.predicted_cycles, tls.parallel_cycles,
+            sel.sequential_cycles))
+    winner_predicted = winner_actual = None
+    if stls:
+        winner_predicted = max(
+            stls, key=lambda s: (s.predicted_savings, -s.loop_id)
+        ).loop_id
+        winner_actual = max(
+            stls, key=lambda s: (s.actual_savings, -s.loop_id)
+        ).loop_id
+    return WorkloadConformance(
+        name, category, report.predicted_speedup,
+        report.actual_speedup, report.coverage, stls,
+        winner_predicted, winner_actual)
+
+
+def oracle_task(workload: Workload, config: HydraConfig = DEFAULT_HYDRA,
+                simulate_tls: bool = True,
+                cache: Optional[ArtifactCache] = None,
+                **jrpm_kwargs) -> WorkloadConformance:
+    """Fleet task: one workload through the pipeline, distilled.
+
+    Module-level so parallel fleets can pickle it by reference.
+    """
+    report = Jrpm(source=workload.source(), name=workload.name,
+                  config=config, cache=cache, **jrpm_kwargs
+                  ).run(simulate_tls=simulate_tls)
+    return conformance_row(workload.name, workload.category, report)
+
+
+class OracleReport:
+    """The whole fleet's conformance outcome."""
+
+    def __init__(self, rows: List, error_bound: float,
+                 known_outliers: Optional[Dict[str, float]] = None,
+                 known_mismatches: Optional[frozenset] = None):
+        self.rows = rows
+        self.error_bound = error_bound
+        self.known_outliers = dict(KNOWN_ERROR_OUTLIERS
+                                   if known_outliers is None
+                                   else known_outliers)
+        self.known_mismatches = frozenset(
+            KNOWN_WINNER_MISMATCHES if known_mismatches is None
+            else known_mismatches)
+
+    @property
+    def ok_rows(self) -> List[WorkloadConformance]:
+        return [r for r in self.rows if r.ok]
+
+    @property
+    def failed_rows(self) -> List:
+        return [r for r in self.rows if not r.ok]
+
+    @property
+    def max_error(self) -> float:
+        return max((r.rel_error for r in self.ok_rows), default=0.0)
+
+    @property
+    def mean_error(self) -> float:
+        rows = self.ok_rows
+        if not rows:
+            return 0.0
+        return sum(r.rel_error for r in rows) / len(rows)
+
+    def bound_for(self, name: str) -> float:
+        return self.known_outliers.get(name, self.error_bound)
+
+    def violations(self) -> List[str]:
+        """Every broken conformance property, as human-readable lines
+        (empty list = the gate passes)."""
+        problems: List[str] = []
+        for row in self.rows:
+            if not row.ok:
+                problems.append("%s: pipeline failed: %s"
+                                % (row.name, row.error))
+                continue
+            bound = self.bound_for(row.name)
+            if row.rel_error > bound:
+                problems.append(
+                    "%s: prediction error %.1f%% exceeds the %.1f%% "
+                    "bound (predicted %.2fx, actual %.2fx)"
+                    % (row.name, 100 * row.rel_error, 100 * bound,
+                       row.predicted_speedup, row.actual_speedup))
+            if not row.winner_match \
+                    and row.name not in self.known_mismatches:
+                problems.append(
+                    "%s: estimator winner L%s but simulator winner L%s"
+                    % (row.name, row.winner_predicted,
+                       row.winner_actual))
+        return problems
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "oracle",
+            "error_bound": self.error_bound,
+            "known_outliers": self.known_outliers,
+            "known_mismatches": sorted(self.known_mismatches),
+            "workloads": [r.to_dict() if r.ok
+                          else {"name": r.name, "ok": False,
+                                "error": r.error}
+                          for r in self.rows],
+            "max_error": round(self.max_error, 4),
+            "mean_error": round(self.mean_error, 4),
+            "violations": self.violations(),
+        }
+
+    def render(self) -> str:
+        lines = ["%-14s %9s %9s %7s %7s  %s"
+                 % ("workload", "predicted", "actual", "err%",
+                    "cover%", "winner")]
+        for row in self.rows:
+            if not row.ok:
+                lines.append("%-14s FAILED: %s" % (row.name, row.error))
+                continue
+            winner = "-" if len(row.stls) < 2 else (
+                "same" if row.winner_match else
+                "L%s!=L%s" % (row.winner_predicted, row.winner_actual))
+            lines.append("%-14s %8.2fx %8.2fx %6.1f%% %6.1f%%  %s"
+                         % (row.name, row.predicted_speedup,
+                            row.actual_speedup, 100 * row.rel_error,
+                            100 * row.coverage, winner))
+        lines.append("max error %.1f%%, mean %.1f%% over %d workloads"
+                     % (100 * self.max_error, 100 * self.mean_error,
+                        len(self.ok_rows)))
+        return "\n".join(lines)
+
+
+def run_oracle(workloads: Optional[Iterable[Workload]] = None,
+               config: HydraConfig = DEFAULT_HYDRA,
+               jobs: int = 1,
+               cache: Optional[ArtifactCache] = None,
+               error_bound: float = DEFAULT_ERROR_BOUND,
+               known_outliers: Optional[Dict[str, float]] = None,
+               known_mismatches: Optional[frozenset] = None,
+               **executor_kwargs) -> OracleReport:
+    """Run the differential oracle over ``workloads`` (default: all).
+
+    The fleet fans out through :class:`FleetExecutor` (``jobs`` worker
+    processes; pass a disk-backed ``cache`` to share pipeline
+    artifacts).  Failed pipelines surface as failed rows rather than
+    aborting the sweep.
+    """
+    fleet = list(workloads) if workloads is not None else all_workloads()
+    executor = FleetExecutor(jobs=jobs, config=config, cache=cache,
+                             on_error="row", task=oracle_task,
+                             **executor_kwargs)
+    result = executor.run(fleet)
+    return OracleReport(list(result.rows), error_bound,
+                        known_outliers=known_outliers,
+                        known_mismatches=known_mismatches)

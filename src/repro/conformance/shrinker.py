@@ -1,0 +1,101 @@
+"""Structure-aware delta debugging for failing fuzz programs.
+
+:func:`shrink_source` greedily minimizes a minijava source while a
+caller-supplied predicate keeps returning True ("still fails the same
+way").  The reduction operators work on the brace tree rather than raw
+characters, so most candidates stay syntactically valid:
+
+* delete a whole ``{ ... }`` block (largest first);
+* unwrap a block — drop its header and closing brace, keep the body;
+* delete one simple statement line.
+
+Invalid candidates are harmless by construction: the campaign's
+predicate treats a non-compiling program as "does not reproduce", so a
+bad reduction is merely a wasted attempt, never a wrong answer.  The
+loop runs to a fixpoint (no operator makes progress) under a predicate-
+call budget, and the result always still satisfies the predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+
+def _is_joint(line: str) -> bool:
+    """A ``} else {`` line: closes one block and opens the next."""
+    stripped = line.strip()
+    return stripped.startswith("}") and stripped.endswith("{")
+
+
+def _spans(lines: List[str]) -> List[Tuple[int, int]]:
+    """Inclusive ``(open_line, close_line)`` for every brace block,
+    from line-level brace counting."""
+    stack: List[int] = []
+    spans: List[Tuple[int, int]] = []
+    for i, line in enumerate(lines):
+        for ch in line:
+            if ch == "}" and stack:
+                spans.append((stack.pop(), i))
+            elif ch == "{":
+                stack.append(i)
+    return spans
+
+
+def _indent(line: str) -> str:
+    return line[:len(line) - len(line.lstrip())]
+
+
+def _candidates(lines: List[str]) -> Iterator[List[str]]:
+    """Reduced variants, biggest reduction first."""
+    spans = sorted(_spans(lines), key=lambda se: se[0] - se[1])
+    for start, end in spans:
+        if start == end:
+            continue
+        open_joint = _is_joint(lines[start])
+        close_joint = _is_joint(lines[end])
+        if open_joint:
+            # dropping an else-branch must keep the then-block's close
+            yield lines[:start] + [_indent(lines[start]) + "}"] \
+                + lines[end + 1:]
+        elif not close_joint:
+            yield lines[:start] + lines[end + 1:]
+        if not open_joint and not close_joint:
+            # unwrap: keep the body, drop header + closing brace
+            yield lines[:start] + lines[start + 1:end] \
+                + lines[end + 1:]
+    for i, line in enumerate(lines):
+        if "{" in line or "}" in line:
+            continue
+        if not line.strip():
+            continue
+        yield lines[:i] + lines[i + 1:]
+
+
+def shrink_source(source: str,
+                  predicate: Callable[[str], bool],
+                  max_checks: int = 2000) -> str:
+    """Minimize ``source`` while ``predicate(candidate)`` holds.
+
+    ``predicate`` must be True for ``source`` itself (raises
+    ``ValueError`` otherwise) and should return False — not raise —
+    for candidates that no longer reproduce, including ones that fail
+    to compile.  Returns the smallest variant found; the result is
+    guaranteed to satisfy the predicate.
+    """
+    if not predicate(source):
+        raise ValueError(
+            "shrink_source needs a failing input to start from")
+    lines = source.splitlines()
+    checks = 1
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _candidates(lines):
+            checks += 1
+            if predicate("\n".join(candidate)):
+                lines = candidate
+                progress = True
+                break  # operators are stale; recompute on the smaller program
+            if checks >= max_checks:
+                break
+    return "\n".join(lines)

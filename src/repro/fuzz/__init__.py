@@ -1,5 +1,9 @@
 """Random-program generation for differential testing of the stack."""
 
-from repro.fuzz.generator import ProgramGenerator, generate_program
+from repro.fuzz.generator import (
+    ProgramGenerator,
+    generate_program,
+    generate_programs,
+)
 
-__all__ = ["ProgramGenerator", "generate_program"]
+__all__ = ["ProgramGenerator", "generate_program", "generate_programs"]

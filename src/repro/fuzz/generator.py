@@ -191,3 +191,14 @@ class ProgramGenerator:
 def generate_program(seed: int, **kwargs) -> str:
     """Convenience: one deterministic random program for ``seed``."""
     return ProgramGenerator(random.Random(seed), **kwargs).generate()
+
+
+def generate_programs(base_seed: int, count: int, **kwargs):
+    """Yield ``(seed, source)`` for ``count`` consecutive seeds.
+
+    Each program gets its own :class:`random.Random` so any single
+    seed from a campaign can be replayed in isolation
+    (``jrpm conform --seed N``) and reproduce the exact same source.
+    """
+    for seed in range(base_seed, base_seed + count):
+        yield seed, generate_program(seed, **kwargs)

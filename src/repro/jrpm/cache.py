@@ -434,9 +434,29 @@ def verify_directory(directory: str, quarantine: bool = True
     Corrupt entries are reported and — with ``quarantine`` — renamed
     to ``<name>.corrupt`` exactly as a live read would have done, so a
     fsck'd cache never feeds a pipeline a bad blob.
+
+    Previously quarantined ``*.corrupt`` files are swept and reported
+    too (name, size, originating stage where the frame header is still
+    readable) so operators can see the evidence backlog and clear it
+    with ``jrpm cache purge --corrupt-only``.
     """
     checked = ok = 0
     corrupt: List[Dict[str, str]] = []
+    quarantined: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".corrupt"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        quarantined.append({"file": name, "bytes": size,
+                            "stage": blob_stage(path) or "?"})
     for path in iter_blob_paths(directory):
         checked += 1
         try:
@@ -462,22 +482,31 @@ def verify_directory(directory: str, quarantine: bool = True
             continue
         ok += 1
     return {"directory": directory, "checked": checked, "ok": ok,
-            "corrupt": corrupt, "quarantine": quarantine}
+            "corrupt": corrupt, "quarantine": quarantine,
+            "quarantined": quarantined}
 
 
-def purge_directory(directory: str, include_quarantined: bool = True
-                    ) -> Dict[str, int]:
+def purge_directory(directory: str, include_quarantined: bool = True,
+                    corrupt_only: bool = False) -> Dict[str, int]:
     """Delete every blob (and, by default, every quarantined
-    ``.corrupt`` file); returns ``{"files": n, "bytes": n}`` freed."""
+    ``.corrupt`` file); returns ``{"files": n, "bytes": n}`` freed.
+
+    ``corrupt_only`` inverts the sweep: only quarantined ``.corrupt``
+    evidence files are removed and live blobs stay untouched — the
+    cleanup half of ``jrpm cache verify``'s quarantine report.
+    """
     files = freed = 0
     try:
         names = list(os.listdir(directory))
     except OSError:
         names = []
     for name in names:
-        if not (name.endswith(".pkl")
-                or (include_quarantined and name.endswith(".corrupt"))
-                or ".pkl.tmp." in name):
+        if corrupt_only:
+            if not name.endswith(".corrupt"):
+                continue
+        elif not (name.endswith(".pkl")
+                  or (include_quarantined and name.endswith(".corrupt"))
+                  or ".pkl.tmp." in name):
             continue
         path = os.path.join(directory, name)
         try:

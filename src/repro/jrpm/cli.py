@@ -13,6 +13,10 @@ Usage::
     jrpm cache stats --cache-dir .jrpm-cache
     jrpm cache verify --cache-dir .jrpm-cache   # fsck the blobs
     jrpm cache purge --cache-dir .jrpm-cache
+    jrpm cache purge --cache-dir .jrpm-cache --corrupt-only
+    jrpm conform                  # estimator-vs-simulator oracle gate
+    jrpm conform --fuzz 200 --seed 1000 --jobs 2
+    jrpm conform --update-goldens # regenerate tests/goldens.json
 """
 
 from __future__ import annotations
@@ -132,8 +136,61 @@ def _build_parser() -> argparse.ArgumentParser:
                             "bad blobs in place")
     cache.add_argument("--keep-quarantined", action="store_true",
                        help="purge leaves *.corrupt evidence files")
+    cache.add_argument("--corrupt-only", action="store_true",
+                       help="purge deletes only quarantined *.corrupt "
+                            "files, keeping healthy blobs")
     cache.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
+
+    conform = sub.add_parser(
+        "conform",
+        help="differential conformance: estimator-vs-simulator "
+             "oracle, fuzz campaigns, golden corpus")
+    conform.add_argument("--workloads", metavar="A,B,...",
+                         help="restrict the oracle to these workloads "
+                              "(default: all)")
+    conform.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the oracle fleet "
+                              "and the fuzz campaign (default 1)")
+    conform.add_argument("--cache-dir", metavar="DIR",
+                         help="artifact cache for the oracle's "
+                              "pipeline runs")
+    conform.add_argument("--skip-oracle", action="store_true",
+                         help="don't run the workload oracle (fuzz or "
+                              "goldens only)")
+    conform.add_argument("--error-bound", type=float, default=None,
+                         metavar="F",
+                         help="override the workload-level relative "
+                              "prediction-error ceiling")
+    conform.add_argument("--fuzz", type=int, default=0, metavar="N",
+                         help="fuzz N consecutive seeds through the "
+                              "four-path differential checker "
+                              "(default 0 = skip)")
+    conform.add_argument("--seed", type=int, default=None, metavar="N",
+                         help="base fuzz seed (default: "
+                              "$JRPM_TEST_SEED or the built-in "
+                              "campaign seed); with --fuzz 1 this "
+                              "replays exactly one program")
+    conform.add_argument("--no-shrink", action="store_true",
+                         help="keep failing programs full-size "
+                              "instead of delta-debugging them")
+    conform.add_argument("--repro-dir", metavar="DIR",
+                         default=None,
+                         help="where shrunk reproducers are written "
+                              "(default conformance/repros)")
+    conform.add_argument("--update-goldens", action="store_true",
+                         help="regenerate the golden corpus from the "
+                              "current interpreter and exit")
+    conform.add_argument("--goldens", metavar="PATH",
+                         default=os.path.join("tests", "goldens.json"),
+                         help="golden corpus path (default "
+                              "tests/goldens.json)")
+    conform.add_argument("--report", metavar="PATH",
+                         help="write the machine-readable conformance "
+                              "report to PATH")
+    conform.add_argument("--json", action="store_true",
+                         help="print the machine-readable report to "
+                              "stdout")
 
     sub.add_parser("list", help="list the bundled paper workloads")
     return parser
@@ -303,17 +360,118 @@ def _run_cache_command(args) -> int:
                       % (entry["file"], entry["stage"], entry["error"],
                          " [quarantined]"
                          if entry.get("quarantined") == "yes" else ""))
+            for entry in report["quarantined"]:
+                print("  quarantined %s (stage %s, %d bytes) from an "
+                      "earlier verify"
+                      % (entry["file"], entry["stage"], entry["bytes"]))
         return 1 if report["corrupt"] else 0
 
     report = purge_directory(
         args.cache_dir,
-        include_quarantined=not args.keep_quarantined)
+        include_quarantined=not args.keep_quarantined,
+        corrupt_only=args.corrupt_only)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
-        print("purged %d file(s), %d bytes freed"
-              % (report["files"], report["bytes"]))
+        what = "quarantined file(s)" if args.corrupt_only else "file(s)"
+        print("purged %d %s, %d bytes freed"
+              % (report["files"], what, report["bytes"]))
     return 0
+
+
+def _run_conform_command(args) -> int:
+    import json
+
+    from repro.conformance.campaign import (
+        DEFAULT_FUZZ_SEED,
+        DEFAULT_REPRO_DIR,
+        run_campaign,
+    )
+    from repro.conformance.goldens import update_goldens
+    from repro.conformance.oracle import (
+        DEFAULT_ERROR_BOUND,
+        run_oracle,
+    )
+    from repro.jrpm.cache import ArtifactCache
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1, got %d" % args.jobs)
+    if args.fuzz < 0:
+        raise SystemExit("--fuzz must be >= 0, got %d" % args.fuzz)
+
+    if args.update_goldens:
+        payload = update_goldens(args.goldens)
+        meta = payload["_meta"]
+        print("regenerated %s: %d workloads, corpus version %d"
+              % (args.goldens, meta["workloads"], meta["version"]))
+        return 0
+
+    workloads = None
+    if args.workloads:
+        from repro.workloads.registry import get_workload, workload_names
+        names = [n.strip() for n in args.workloads.split(",")
+                 if n.strip()]
+        try:
+            workloads = [get_workload(n) for n in names]
+        except KeyError as exc:
+            raise SystemExit(
+                "unknown workload %s; choose from: %s"
+                % (exc, ", ".join(workload_names())))
+
+    document = {"kind": "conformance"}
+    problems = []
+
+    if not args.skip_oracle:
+        cache = None
+        if args.cache_dir:
+            cache = ArtifactCache(directory=args.cache_dir)
+        elif args.jobs > 1:
+            import tempfile
+            cache = ArtifactCache(
+                directory=tempfile.mkdtemp(prefix="jrpm-conform-"))
+        bound = args.error_bound if args.error_bound is not None \
+            else DEFAULT_ERROR_BOUND
+        oracle = run_oracle(workloads=workloads, jobs=args.jobs,
+                            cache=cache, error_bound=bound)
+        document["oracle"] = oracle.to_dict()
+        problems.extend(oracle.violations())
+        if not args.json:
+            print(oracle.render())
+
+    if args.fuzz > 0:
+        seed = args.seed
+        if seed is None:
+            seed = int(os.environ.get("JRPM_TEST_SEED",
+                                      DEFAULT_FUZZ_SEED))
+        repro_dir = args.repro_dir if args.repro_dir is not None \
+            else DEFAULT_REPRO_DIR
+        campaign = run_campaign(count=args.fuzz, base_seed=seed,
+                                jobs=args.jobs,
+                                shrink=not args.no_shrink,
+                                repro_dir=repro_dir)
+        document["campaign"] = campaign.to_dict()
+        for f in campaign.failures:
+            problems.append("fuzz seed %d: %s" % (f.seed, f.kind))
+        for r in campaign.fleet_errors:
+            problems.append("fuzz %s: worker failed: %s"
+                            % (r.name, getattr(r, "error", "?")))
+        if not args.json:
+            if not args.skip_oracle:
+                print()
+            print(campaign.render())
+
+    document["violations"] = problems
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(text)
+    if args.json:
+        print(text)
+    elif problems:
+        print()
+        for p in problems:
+            print("VIOLATION %s" % p)
+    return 1 if problems else 0
 
 
 def _resolve_source(target: str) -> tuple:
@@ -349,6 +507,9 @@ def main(argv=None) -> int:
 
     if args.command == "cache":
         return _run_cache_command(args)
+
+    if args.command == "conform":
+        return _run_conform_command(args)
 
     name, source = _resolve_source(args.target)
     level = AnnotationLevel.BASE if args.base \

@@ -70,7 +70,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PipelineError
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
@@ -93,7 +93,7 @@ def _execute_workload(payload: Tuple) -> Tuple:
     from repro.jrpm.batch import FleetRow
 
     (index, workload, config, simulate_tls, cache_dir, fault_plan,
-     jrpm_kwargs) = payload
+     task, jrpm_kwargs) = payload
     cache = ArtifactCache(directory=cache_dir) \
         if cache_dir is not None else None
     try:
@@ -102,10 +102,15 @@ def _execute_workload(payload: Tuple) -> Tuple:
             fault_plan.on_workload_start(workload.name, cache_dir)
             kwargs.setdefault("stage_hook",
                               fault_plan.stage_hook(workload.name))
-        jrpm = Jrpm(source=workload.source(), name=workload.name,
-                    config=config, cache=cache, **kwargs)
-        report = jrpm.run(simulate_tls=simulate_tls)
-        row = FleetRow(workload, report)
+        if task is not None:
+            row = task(workload, config=config,
+                       simulate_tls=simulate_tls, cache=cache,
+                       **kwargs)
+        else:
+            jrpm = Jrpm(source=workload.source(), name=workload.name,
+                        config=config, cache=cache, **kwargs)
+            report = jrpm.run(simulate_tls=simulate_tls)
+            row = FleetRow(workload, report)
         return index, row, cache.snapshot() if cache else None
     except Exception as exc:  # noqa: BLE001 - shipped to the parent
         return (index, (repr(exc), traceback.format_exc()),
@@ -136,6 +141,7 @@ class FleetExecutor:
                  fault_plan: Optional[FaultPlan] = None,
                  persistent: bool = False,
                  rng: Optional[random.Random] = None,
+                 task: Optional[Callable] = None,
                  **jrpm_kwargs):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -170,6 +176,14 @@ class FleetExecutor:
         #: itself is not thread-safe — serialize calls (the service's
         #: single dispatcher thread does).
         self.persistent = persistent
+        #: per-workload unit of work.  ``None`` runs the Jrpm pipeline
+        #: and yields a FleetRow; the conformance campaign substitutes
+        #: its differential checker.  The callable receives
+        #: ``(workload, config=, simulate_tls=, cache=, **jrpm_kwargs)``
+        #: and must return a row object exposing ``.ok`` and ``.name``;
+        #: for parallel fleets it must be a picklable module-level
+        #: function (workers import it by reference).
+        self.task = task
         self._pool: Optional[ProcessPoolExecutor] = None
         #: jitter source for retry backoff; pass ``random.Random(seed)``
         #: to make retry timing deterministic in tests
@@ -211,11 +225,17 @@ class FleetExecutor:
                         kwargs.setdefault(
                             "stage_hook",
                             self.fault_plan.stage_hook(w.name))
-                    jrpm = Jrpm(source=w.source(), name=w.name,
-                                config=config, cache=cache,
-                                **kwargs)
-                    rows.append(FleetRow(
-                        w, jrpm.run(simulate_tls=simulate_tls)))
+                    if self.task is not None:
+                        rows.append(self.task(
+                            w, config=config,
+                            simulate_tls=simulate_tls, cache=cache,
+                            **kwargs))
+                    else:
+                        jrpm = Jrpm(source=w.source(), name=w.name,
+                                    config=config, cache=cache,
+                                    **kwargs)
+                        rows.append(FleetRow(
+                            w, jrpm.run(simulate_tls=simulate_tls)))
                     break
                 except Exception as exc:  # noqa: BLE001 - isolated per row
                     if attempt <= self.retries:
@@ -298,7 +318,7 @@ class FleetExecutor:
         def payload(index: int) -> Tuple:
             return (index, workloads[index], config,
                     simulate_tls, cache_dir, self.fault_plan,
-                    jrpm_kwargs)
+                    self.task, jrpm_kwargs)
 
         def requeue_or_fail(index: int, error: str) -> None:
             """A charged attempt failed; back off and retry, or write

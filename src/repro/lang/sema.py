@@ -158,7 +158,7 @@ class Analyzer:
 
     def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
         if isinstance(stmt, ast.VarDecl):
-            kind = self._check_expr(stmt.init, scope)
+            kind = self._check_expr(stmt.init, scope, allow_void=True)
             if kind is Kind.VOID:
                 raise SemanticError(
                     "cannot initialize %r from a void call" % stmt.name,
@@ -170,7 +170,7 @@ class Analyzer:
                 raise SemanticError(
                     "assignment to undeclared variable %r" % stmt.name,
                     stmt.line, stmt.column)
-            kind = self._check_expr(stmt.value, scope)
+            kind = self._check_expr(stmt.value, scope, allow_void=True)
             if kind is Kind.VOID:
                 raise SemanticError(
                     "cannot assign a void call to %r" % stmt.name,
@@ -221,7 +221,8 @@ class Analyzer:
                     raise SemanticError(
                         "inconsistent returns in %r" % self._current.name,
                         stmt.line, stmt.column)
-                kind = self._check_expr(stmt.value, scope)
+                kind = self._check_expr(stmt.value, scope,
+                                        allow_void=True)
                 if kind is Kind.VOID:
                     raise SemanticError(
                         "cannot return a void call",
@@ -356,7 +357,7 @@ class Analyzer:
                 % (name, sig.n_params, len(expr.args)),
                 expr.line, expr.column)
         for arg in expr.args:
-            kind = self._check_expr(arg, scope)
+            kind = self._check_expr(arg, scope, allow_void=True)
             if kind is Kind.VOID:
                 raise SemanticError(
                     "void call used as an argument",

@@ -112,6 +112,57 @@ class TLSResult:
         """Violations per thread."""
         return self.violations / self.threads if self.threads else 0.0
 
+    def invariant_errors(self, config: HydraConfig = DEFAULT_HYDRA
+                         ) -> list:
+        """Scheduling-model violations in this aggregate (empty = ok).
+
+        The conformance fuzz campaign runs this after every simulated
+        STL.  Each rule is a consequence of Hydra's execution model, so
+        a violation always indicates a simulator bug:
+
+        * counters are non-negative and overflowing threads are a
+          subset of scheduled threads;
+        * ``p`` CPUs cannot speed anything up more than ``p``-fold;
+        * an entry with threads pays at least the Table 2 loop
+          startup + shutdown overhead, so the aggregate parallel time
+          is bounded below by ``entries`` times that.
+        """
+        errors = []
+
+        def need(cond: bool, rule: str) -> None:
+            if not cond:
+                errors.append("L%d: %s" % (self.loop_id, rule))
+
+        need(self.parallel_cycles >= 0 and self.sequential_cycles >= 0,
+             "negative cycle counters (%d parallel, %d sequential)"
+             % (self.parallel_cycles, self.sequential_cycles))
+        need(self.violations >= 0,
+             "negative violation count %d" % self.violations)
+        need(0 <= self.overflows <= self.threads,
+             "overflows (%d) outside [0, threads=%d]"
+             % (self.overflows, self.threads))
+        need(self.entries >= 0 and self.threads >= 0,
+             "negative entry/thread counters")
+        need(self.speedup <= config.n_cpus + 1e-9,
+             "speedup %.3f exceeds the %d-CPU bound"
+             % (self.speedup, config.n_cpus))
+        if self.threads > 0:
+            floor = config.startup_overhead + config.shutdown_overhead
+            need(self.parallel_cycles >= floor,
+                 "parallel time %d below one entry's %d-cycle "
+                 "startup+shutdown floor"
+                 % (self.parallel_cycles, floor))
+            # every thread occupies its CPU for >= 1 cycle plus the EOI
+            # overhead, so the busiest of the p round-robin chains
+            # bounds the schedule length from below
+            chain = -(-self.threads // config.n_cpus)  # ceil
+            need(self.parallel_cycles
+                 >= chain * (1 + config.eoi_overhead),
+                 "parallel time %d cannot cover %d committed threads "
+                 "on %d CPUs"
+                 % (self.parallel_cycles, self.threads, config.n_cpus))
+        return errors
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return ("<TLSResult L%d %.2fx viol/thread=%.3f ovf=%d>"
                 % (self.loop_id, self.speedup, self.violation_rate,

@@ -118,6 +118,74 @@ class STLStats:
         return self.local_arcs / self.profiled_threads \
             if self.profiled_threads else 0.0
 
+    def invariant_errors(self) -> list:
+        """Internal-consistency violations of the accumulated counters.
+
+        Returns human-readable descriptions (empty = consistent).  The
+        conformance fuzz campaign runs this after every profiled
+        execution; each rule is a structural property of the comparator
+        bank, so a violation always indicates a tracer bug:
+
+        * counter ordering — a loop that produced statistics has been
+          entered, every entry completed at least one thread, and the
+          profiled (bank-armed) counters never exceed the totals;
+        * critical-arc minimality — the bank keeps only the *shortest*
+          arc of each bin per thread, so each bin can hold at most one
+          arc per non-first profiled thread;
+        * local-arc accounting — a local critical arc is a refinement
+          of a recorded arc, never an extra one;
+        * speculative-buffer limits — overflowing threads are a subset
+          of profiled threads, and per-thread maxima never exceed the
+          accumulated line totals.
+        """
+        errors = []
+
+        def need(cond: bool, rule: str) -> None:
+            if not cond:
+                errors.append("L%d: %s" % (self.loop_id, rule))
+
+        need(self.entries >= 1, "stats recorded without an entry")
+        need(self.threads >= self.entries,
+             "threads (%d) < entries (%d)"
+             % (self.threads, self.entries))
+        need(self.profiled_entries <= self.entries,
+             "profiled entries (%d) > entries (%d)"
+             % (self.profiled_entries, self.entries))
+        need(self.profiled_threads <= self.threads,
+             "profiled threads (%d) > threads (%d)"
+             % (self.profiled_threads, self.threads))
+        need(self.cycles >= self.threads,
+             "cycles (%d) < threads (%d) — a thread costs >= 1 cycle"
+             % (self.cycles, self.threads))
+
+        arc_slots = max(0, self.profiled_threads - self.profiled_entries)
+        need(self.arcs_prev <= arc_slots,
+             "arc minimality: %d t-1 arcs from %d eligible threads"
+             % (self.arcs_prev, arc_slots))
+        need(self.arcs_earlier <= arc_slots,
+             "arc minimality: %d <t-1 arcs from %d eligible threads"
+             % (self.arcs_earlier, arc_slots))
+        need(self.arc_len_prev >= 0 and self.arc_len_earlier >= 0,
+             "negative accumulated arc length")
+        need((self.arcs_prev > 0) or (self.arc_len_prev == 0),
+             "t-1 arc length without an arc")
+        need((self.arcs_earlier > 0) or (self.arc_len_earlier == 0),
+             "<t-1 arc length without an arc")
+        need(self.local_arcs <= self.arcs_prev + self.arcs_earlier,
+             "local arcs (%d) exceed recorded arcs (%d)"
+             % (self.local_arcs, self.arcs_prev + self.arcs_earlier))
+
+        need(self.overflow_threads <= self.profiled_threads,
+             "overflow threads (%d) > profiled threads (%d)"
+             % (self.overflow_threads, self.profiled_threads))
+        need(self.max_load_lines <= self.load_lines_total,
+             "max load lines (%d) > total (%d)"
+             % (self.max_load_lines, self.load_lines_total))
+        need(self.max_store_lines <= self.store_lines_total,
+             "max store lines (%d) > total (%d)"
+             % (self.max_store_lines, self.store_lines_total))
+        return errors
+
     def merge(self, other: "STLStats") -> None:
         """Accumulate another stats object into this one."""
         self.cycles += other.cycles

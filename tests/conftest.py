@@ -7,10 +7,45 @@ import os
 
 import pytest
 
+from repro.conformance.campaign import DEFAULT_FUZZ_SEED
 from repro.jrpm import Jrpm
 from repro.lang import compile_source
 
 HERE = os.path.dirname(__file__)
+
+
+def _test_seed() -> int:
+    """The suite's base fuzz seed: ``$JRPM_TEST_SEED`` overrides the
+    built-in default, so a CI failure replays locally by exporting the
+    seed the job printed."""
+    return int(os.environ.get("JRPM_TEST_SEED", DEFAULT_FUZZ_SEED))
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed() -> int:
+    """Base seed for every seeded-randomness test in the suite.
+
+    All generated-program tests derive their seeds from this one
+    fixture; on failure the replay hint below names the exact
+    ``jrpm conform`` invocation that reproduces the program outside
+    pytest."""
+    return _test_seed()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach a replay recipe to any failing test that consumed the
+    shared seed, so seeded failures are reproducible from the log."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed \
+            and "fuzz_seed" in getattr(item, "fixturenames", ()):
+        seed = _test_seed()
+        report.sections.append((
+            "seed replay",
+            "base seed %d (JRPM_TEST_SEED overrides); replay a "
+            "program with: jrpm conform --fuzz 1 --seed %d"
+            % (seed, seed)))
 
 #: a small nest: parallel init loop, reduction loop, nested matrix loop
 NEST_SOURCE = """

@@ -12,6 +12,7 @@ from repro.bytecode import (
     UnOp,
     disassemble,
     disassemble_function,
+    find_unreachable,
     verify_function,
     verify_program,
 )
@@ -221,3 +222,107 @@ class TestProgramAndDisasm:
         b = a.copy()
         b.a = 7
         assert a.a == 3
+
+
+class TestVerifierOperands:
+    """Malformed-operand paths not covered by TestVerifier."""
+
+    def _fn(self, *instrs):
+        fn = Function("f")
+        fn.code = list(instrs)
+        return fn
+
+    def test_bad_un_subopcode(self):
+        with pytest.raises(BytecodeError):
+            verify_function(self._fn(
+                Instr(Op.UN, sub=99, a=0, b=0), Instr(Op.RET)))
+
+    def test_astore_negative_index_slot(self):
+        with pytest.raises(BytecodeError):
+            verify_function(self._fn(
+                Instr(Op.ASTORE, a=0, b=-1, c=0), Instr(Op.RET)))
+
+    def test_call_to_unknown_function(self):
+        program = Program()
+        fn = self._fn(Instr(Op.CALL, a=-1, name="nope", args=()),
+                      Instr(Op.RET))
+        with pytest.raises(BytecodeError):
+            verify_function(fn, program)
+
+    def test_unknown_intrinsic_name(self):
+        with pytest.raises(BytecodeError):
+            verify_function(self._fn(
+                Instr(Op.INTRIN, a=0, name="nope", args=()),
+                Instr(Op.RET)))
+
+    def test_annotation_negative_loop_id(self):
+        with pytest.raises(BytecodeError):
+            verify_function(self._fn(
+                Instr(Op.SLOOP, a=-1), Instr(Op.RET)))
+
+
+class TestUnreachable:
+    """Dead-code detection: rewriting passes must never orphan live
+    code, while codegen's legal dead padding stays tolerated."""
+
+    def _fn(self, *instrs):
+        fn = Function("f")
+        fn.code = list(instrs)
+        return fn
+
+    def test_fully_reachable_function(self):
+        assert find_unreachable(count_to_ten()) == []
+
+    def test_reports_skipped_pcs(self):
+        fn = self._fn(Instr(Op.JMP, a=2), Instr(Op.NOP),
+                      Instr(Op.RET))
+        assert find_unreachable(fn) == [1]
+
+    def test_ret_stops_the_walk(self):
+        fn = self._fn(Instr(Op.RET), Instr(Op.NOP), Instr(Op.RET))
+        assert find_unreachable(fn) == [1, 2]
+
+    def test_live_dead_block_rejected_when_strict(self):
+        fn = self._fn(
+            Instr(Op.CONST, a=0, imm=1),
+            Instr(Op.RET, a=0),
+            Instr(Op.BIN, sub=BinOp.ADD, a=0, b=0, c=0),  # stranded
+            Instr(Op.RET, a=0))
+        verify_function(fn)  # tolerant by default
+        with pytest.raises(BytecodeError) as exc:
+            verify_function(fn, reject_unreachable=True)
+        assert "unreachable block of live code" in str(exc.value)
+        assert "pc(s) 2" in str(exc.value)
+
+    def test_dead_nop_and_ret_padding_tolerated(self):
+        fn = self._fn(Instr(Op.JMP, a=2), Instr(Op.NOP),
+                      Instr(Op.RET), Instr(Op.RET))
+        verify_function(fn, reject_unreachable=True)
+
+    def test_implicit_return_epilogue_tolerated(self):
+        # codegen's implicit `return 0` after exhaustive source returns
+        fn = self._fn(
+            Instr(Op.CONST, a=0, imm=7),
+            Instr(Op.RET, a=0),
+            Instr(Op.CONST, a=1, imm=0),
+            Instr(Op.RET, a=1))
+        verify_function(fn, reject_unreachable=True)
+
+    def test_dead_const_outside_the_epilogue_rejected(self):
+        # the CONST tolerance is trailing-suffix only
+        fn = self._fn(
+            Instr(Op.JMP, a=2),
+            Instr(Op.CONST, a=0, imm=1),  # stranded mid-function
+            Instr(Op.CONST, a=0, imm=0),
+            Instr(Op.RET, a=0))
+        with pytest.raises(BytecodeError):
+            verify_function(fn, reject_unreachable=True)
+
+    def test_codegen_output_passes_strict_program_verify(self):
+        from repro.lang import compile_source
+
+        program = compile_source(
+            "func main() {"
+            "  if (1 < 2) { return 1; } else { return 2; }"
+            "}")
+        verify_program(program, reject_unreachable=True)

@@ -206,3 +206,114 @@ class TestCacheCommand:
         with pytest.raises(SystemExit):
             main(["cache", "stats", "--cache-dir",
                   str(tmp_path / "nope")])
+
+
+class TestCacheQuarantineSweep:
+    def _corrupt_and_verify(self, tmp_path):
+        import os
+
+        assert main(["fleet", "--workloads", "IDEA", "--no-tls",
+                     "--cache-dir", str(tmp_path)]) == 0
+        victim = sorted(p for p in os.listdir(tmp_path)
+                        if p.endswith(".pkl"))[0]
+        path = os.path.join(str(tmp_path), victim)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path)]) == 1
+        return path
+
+    def test_second_verify_reports_earlier_quarantine(self, tmp_path,
+                                                      capsys):
+        self._corrupt_and_verify(tmp_path)
+        capsys.readouterr()
+        # the corrupt blob is gone, so the sweep itself passes — but
+        # the evidence file from the first verify is surfaced
+        assert main(["cache", "verify", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 ok, 0 corrupt" in out
+        assert "from an earlier verify" in out
+        assert ".pkl.corrupt" in out
+
+    def test_purge_corrupt_only_keeps_good_blobs(self, tmp_path,
+                                                 capsys):
+        import os
+
+        quarantined = self._corrupt_and_verify(tmp_path) + ".corrupt"
+        assert os.path.exists(quarantined)
+        capsys.readouterr()
+        assert main(["cache", "purge", "--cache-dir", str(tmp_path),
+                     "--corrupt-only"]) == 0
+        out = capsys.readouterr().out
+        assert "purged 1 quarantined file(s)" in out
+        assert not os.path.exists(quarantined)
+        # the three healthy blobs survive
+        assert len([p for p in os.listdir(tmp_path)
+                    if p.endswith(".pkl")]) == 3
+
+
+class TestConformCommand:
+    def test_fuzz_only_json_document(self, tmp_path, capsys,
+                                     fuzz_seed):
+        import json
+
+        assert main(["conform", "--skip-oracle", "--fuzz", "4",
+                     "--seed", str(fuzz_seed),
+                     "--repro-dir", str(tmp_path / "repros"),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "conformance"
+        assert "oracle" not in doc
+        assert doc["campaign"]["base_seed"] == fuzz_seed
+        assert doc["campaign"]["checked"] == 4
+        assert doc["violations"] == []
+
+    def test_oracle_subset_passes_gate(self, capsys):
+        assert main(["conform", "--workloads", "MipsSimulator"]) == 0
+        out = capsys.readouterr().out
+        assert "MipsSimulator" in out
+        assert "max error" in out
+
+    def test_tight_bound_trips_gate(self, capsys):
+        assert main(["conform", "--workloads", "MipsSimulator",
+                     "--error-bound", "0.0001"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "exceeds the 0.0%" in out
+
+    def test_report_file_written(self, tmp_path, capsys, fuzz_seed):
+        import json
+
+        report = tmp_path / "conformance.json"
+        assert main(["conform", "--skip-oracle", "--fuzz", "2",
+                     "--seed", str(fuzz_seed),
+                     "--repro-dir", str(tmp_path / "repros"),
+                     "--report", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "conformance"
+        assert doc["campaign"]["checked"] == 2
+
+    def test_update_goldens_roundtrip(self, tmp_path, capsys):
+        import json
+        import shutil
+
+        # regenerating a copy of the committed corpus must reproduce
+        # it byte for byte (the generated-only guarantee, CLI-level)
+        copy = tmp_path / "goldens.json"
+        shutil.copy("tests/goldens.json", copy)
+        before = copy.read_bytes()
+        assert main(["conform", "--update-goldens",
+                     "--goldens", str(copy)]) == 0
+        out = capsys.readouterr().out
+        assert "regenerated" in out
+        assert copy.read_bytes() == before
+        assert json.loads(before.decode())["_meta"]["version"] >= 2
+
+    def test_unknown_workload_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["conform", "--workloads", "NoSuchThing"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["conform", "--jobs", "0"])

@@ -1,0 +1,100 @@
+"""The golden corpus is generated-only: regenerating it from the
+current interpreter must be a byte-level no-op, and any hand edit or
+semantics drift is reported per workload and field."""
+
+import json
+
+from repro.conformance.goldens import (
+    GOLDENS_VERSION,
+    META_KEY,
+    goldens_drift,
+    load_goldens,
+    render_goldens,
+    update_goldens,
+)
+from repro.workloads import get_workload
+
+GOLDENS_PATH = "tests/goldens.json"
+
+#: small, fast workloads for the doctored-corpus tests
+SUBSET = ["NumHeapSort", "BitOps"]
+
+
+def _subset():
+    return [get_workload(name) for name in SUBSET]
+
+
+class TestCorpusIsGenerated:
+    def test_regeneration_is_a_noop(self):
+        """The committed corpus byte-matches a fresh regeneration —
+        the gate that makes hand edits impossible to sneak in."""
+        assert goldens_drift(GOLDENS_PATH) == []
+
+    def test_corpus_carries_version_stamp(self):
+        stored = load_goldens(GOLDENS_PATH)
+        meta = stored[META_KEY]
+        assert meta["version"] == GOLDENS_VERSION
+        assert meta["workloads"] == len(stored) - 1
+        assert "--update-goldens" in meta["generator"]
+
+
+class TestDriftDetection:
+    def test_update_then_drift_is_clean(self, tmp_path):
+        path = str(tmp_path / "goldens.json")
+        payload = update_goldens(path, workloads=_subset())
+        assert set(payload) == set(SUBSET) | {META_KEY}
+        assert goldens_drift(path, workloads=_subset()) == []
+
+    def test_missing_corpus_reported(self, tmp_path):
+        path = str(tmp_path / "nope.json")
+        [problem] = goldens_drift(path, workloads=_subset())
+        assert "missing" in problem
+
+    def test_doctored_value_named_per_field(self, tmp_path):
+        path = str(tmp_path / "goldens.json")
+        update_goldens(path, workloads=_subset())
+        stored = load_goldens(path)
+        stored["BitOps"]["cycles"] += 1
+        with open(path, "w") as fh:
+            fh.write(render_goldens(stored))
+        problems = goldens_drift(path, workloads=_subset())
+        assert len(problems) == 1
+        assert problems[0].startswith("BitOps.cycles: stored ")
+
+    def test_hand_edit_without_meta_rejected(self, tmp_path):
+        path = str(tmp_path / "goldens.json")
+        update_goldens(path, workloads=_subset())
+        stored = load_goldens(path)
+        del stored[META_KEY]
+        with open(path, "w") as fh:
+            fh.write(render_goldens(stored))
+        problems = goldens_drift(path, workloads=_subset())
+        assert any(META_KEY in p for p in problems)
+
+    def test_non_canonical_bytes_rejected(self, tmp_path):
+        """Same values, different serialization (e.g. an editor
+        reformat) still counts as drift."""
+        path = str(tmp_path / "goldens.json")
+        payload = update_goldens(path, workloads=_subset())
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=4, sort_keys=True)
+        problems = goldens_drift(path, workloads=_subset())
+        assert problems == ["corpus bytes differ from canonical "
+                            "serialization; regenerate with "
+                            "--update-goldens"]
+
+    def test_unregistered_and_missing_workloads_reported(self,
+                                                         tmp_path):
+        path = str(tmp_path / "goldens.json")
+        update_goldens(path, workloads=_subset())
+        stored = load_goldens(path)
+        stored["Ghost"] = {"cycles": 1, "instructions": 1,
+                           "return_value": 0}
+        del stored["NumHeapSort"]
+        with open(path, "w") as fh:
+            fh.write(render_goldens(stored))
+        problems = goldens_drift(path, workloads=_subset())
+        assert any(p.startswith("Ghost: stored but no longer")
+                   for p in problems)
+        assert any(p.startswith("NumHeapSort: registered but missing")
+                   for p in problems)

@@ -125,3 +125,67 @@ class TestReturnsAndLoops:
 
     def test_break_in_if_inside_loop_ok(self):
         check("func main() { while (1) { if (1) { break; } } }")
+
+
+class TestErrorPaths:
+    """Error sites not reachable through the happy-path suites above:
+    void-call plumbing, indexed-store operand checks, and builtin
+    arity/category validation."""
+
+    VOID = "func v() { return; } "
+
+    def test_var_init_from_void_call(self):
+        fails(self.VOID + "func main() { var x = v(); }",
+              "from a void call")
+
+    def test_assign_void_call(self):
+        fails(self.VOID + "func main() { var x = 1; x = v(); }",
+              "cannot assign a void call")
+
+    def test_return_void_call(self):
+        fails(self.VOID + "func main() { return v(); }",
+              "cannot return a void call")
+
+    def test_indexed_store_into_non_array(self):
+        fails("func main() { var x = 1; x[0] = 2; }",
+              "indexed store into a non-array")
+
+    def test_store_index_must_be_numeric(self):
+        fails("func main() { var a = array(4); var b = array(4); "
+              "a[b] = 1; }", "array index must be numeric")
+
+    def test_store_element_must_be_numeric(self):
+        fails("func main() { var a = array(4); var b = array(4); "
+              "a[0] = b; }", "array element must be numeric")
+
+    def test_load_index_must_be_numeric(self):
+        fails("func main() { var a = array(4); var b = array(4); "
+              "var x = a[b]; }", "array index must be numeric")
+
+    def test_array_builtin_arity(self):
+        fails("func main() { var a = array(1, 2); }",
+              "array(n) takes exactly one argument")
+
+    def test_array_length_must_be_numeric(self):
+        fails("func main() { var a = array(4); var b = array(a); }",
+              "array length must be numeric")
+
+    def test_len_builtin_arity(self):
+        fails("func main() { var a = array(4); var x = len(a, a); }",
+              "len(a) takes exactly one argument")
+
+    def test_int_builtin_arity(self):
+        fails("func main() { var x = int(1, 2); }",
+              "int(x) takes exactly one argument")
+
+    def test_float_argument_must_be_numeric(self):
+        fails("func main() { var a = array(4); var x = float(a); }",
+              "float() argument must be numeric")
+
+    def test_unary_on_array(self):
+        fails("func main() { var a = array(4); var x = -a; }",
+              "needs a numeric operand")
+
+    def test_print_argument_must_be_numeric(self):
+        fails("func main() { var a = array(4); print(a); }",
+              "print argument must be numeric")
