@@ -18,7 +18,12 @@ Three modes are timed and written to ``BENCH_pipeline.json``:
   row-of-tuples path (per-call window rebuild, no kernel reuse) vs.
   the columnar :class:`~repro.tls.engine.TraceEngine`, both measured
   in-run so the comparison is host-fair.  The engine's per-phase
-  seconds and kernel hit/miss counters are recorded alongside.
+  seconds and kernel hit/miss counters are recorded alongside, as are
+  trace-JIT on/off rows for the traced recording run that feeds it;
+* ``trace_jit`` — the full Huffman pipeline with the trace JIT on vs.
+  off, interleaved best-of-N on the same host, plus the trace-cache
+  counters (recordings, aborts, linked/blacklisted traces, invocation
+  and guard-failure totals) of the JIT-on run.
 
 Standalone::
 
@@ -79,6 +84,50 @@ def _time_single_run() -> float:
     return time.perf_counter() - start
 
 
+def _time_trace_jit_single(reps: int) -> Dict:
+    """Full Huffman pipeline with the trace JIT on vs. off.
+
+    The pairs are interleaved and the minimum of each side is kept, so
+    host noise hits both flags evenly; the JIT-on run's trace-cache
+    counters ride along for the committed JSON.
+    """
+    w = get_workload("Huffman")
+    src = w.source()
+
+    def one(flag):
+        start = time.perf_counter()
+        report = Jrpm(source=src, name=w.name,
+                      trace_jit=flag).run(simulate_tls=True)
+        return time.perf_counter() - start, report
+
+    one(True)  # warm the process so rep 1 is comparable to rep N
+    one(False)
+    ons: List[float] = []
+    offs: List[float] = []
+    report_on = None
+    for _ in range(reps):
+        off_s, _report = one(False)
+        on_s, report_on = one(True)
+        offs.append(off_s)
+        ons.append(on_s)
+
+    def counters(result):
+        # per-trace tables are RunResult-level observability; the
+        # committed benchmark keeps the per-run counters only
+        return {k: v for k, v in result.jit.items() if k != "traces"}
+
+    return {
+        "reps": reps,
+        "on_s": round(min(ons), 3),
+        "off_s": round(min(offs), 3),
+        "speedup": round(min(offs) / min(ons), 2),
+        "jit": {
+            "sequential": counters(report_on.sequential),
+            "profiled": counters(report_on.profiled),
+        },
+    }
+
+
 def _time_sweep(cache) -> float:
     w = get_workload("Huffman")
     start = time.perf_counter()
@@ -104,11 +153,23 @@ def _time_analysis_sweep() -> Dict:
     annotated = annotate_program(
         program, candidates, AnnotationLevel.OPTIMIZED)
     # one traced run records the same execution into both layouts, so
-    # the comparison below isolates the analysis side entirely
+    # the comparison below isolates the analysis side entirely.  The
+    # recording run is timed with the trace JIT off and on (identical
+    # listener work on both sides; superblocks must publish the
+    # identical event stream) and the JIT-on recordings feed the sweep
     legacy = RecordingListener()
     columnar = ColumnarRecording()
+    start = time.perf_counter()
     run_program(annotated.program,
-                listener=MulticastListener([legacy, columnar]))
+                listener=MulticastListener([RecordingListener(),
+                                            ColumnarRecording()]),
+                trace_jit=False)
+    record_off_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_program(annotated.program,
+                listener=MulticastListener([legacy, columnar]),
+                trace_jit=True)
+    record_on_s = time.perf_counter() - start
 
     # ...restricted to the loops this trace can be windowed on
     loops = []
@@ -144,6 +205,9 @@ def _time_analysis_sweep() -> Dict:
         "configs": len(ANALYSIS_SWEEP),
         "loops": len(loops),
         "events": len(columnar),
+        "record_off_s": round(record_off_s, 3),
+        "record_on_s": round(record_on_s, 3),
+        "record_speedup": round(record_off_s / record_on_s, 2),
         "legacy_rows_s": round(rows_s, 3),
         "engine_s": round(engine_s, 3),
         "speedup": round(rows_s / engine_s, 2),
@@ -163,6 +227,7 @@ def run_benchmark(quick: bool = False) -> Dict:
         fleet = fleet[:4]
 
     single = _time_single_run()
+    trace_jit = _time_trace_jit_single(reps=1 if quick else 5)
     # cold fills the cache (including the store overhead of pickling
     # every artifact); warm is the same sweep against the filled cache,
     # i.e. what any re-run or downstream-knob sweep pays
@@ -193,8 +258,11 @@ def run_benchmark(quick: bool = False) -> Dict:
             "analysis_sweep_s": analysis["engine_s"],
         },
         "analysis": analysis,
+        "trace_jit": trace_jit,
         "speedup": {
             "analysis_sweep": analysis["speedup"],
+            "trace_jit_single_run": trace_jit["speedup"],
+            "trace_jit_record": analysis["record_speedup"],
             "single_run": round(BASELINE["single_run_s"] / single, 2),
             "cached_sweep": round(
                 BASELINE["cached_sweep_s"] / sweep_cached, 2),
@@ -228,6 +296,14 @@ def test_perf_pipeline_quick(capsys):
     stats = results["analysis"]["engine_stats"]
     assert stats["classify"]["hits"] > 0
     assert stats["overflow"]["hits"] > 0
+    # the superblock path must never be slower than plain dispatch on
+    # Huffman — both flags run the identical pipeline in-process, so
+    # this ratio is host-independent too
+    assert results["speedup"]["trace_jit_single_run"] > 1.0
+    jit = results["trace_jit"]["jit"]
+    assert jit["sequential"]["traces_linked"] > 0
+    assert jit["profiled"]["traces_linked"] > 0
+    assert jit["profiled"]["invocations"] > 0
     # and everything above must have produced sane timings
     assert all(v > 0 for v in results["after"].values())
 

@@ -1,16 +1,22 @@
-"""Four-path differential execution plus runtime-invariant checks.
+"""Five-path differential execution plus runtime-invariant checks.
 
-One generated (or hand-written) program is executed along four paths:
+One generated (or hand-written) program is executed along five paths:
 
 1. **fast** — the plain interpreter with no listener attached, which
-   takes the memoized dispatch fast path;
+   takes the memoized dispatch fast path (trace JIT forced off: this
+   is the reference semantics);
 2. **traced** — the same program with a no-op :class:`TraceListener`,
-   forcing the instrumented dispatch loop;
+   forcing the instrumented dispatch loop (trace JIT off);
 3. **annotated** — TEST annotations at ``OPTIMIZED`` level with the
    profiling device and a columnar recording attached;
-4. **optimized** — the microJIT scalar optimizer applied to a copy.
+4. **optimized** — the microJIT scalar optimizer applied to a copy;
+5. **trace JIT** — the superblock JIT enabled with an aggressive
+   hotness threshold, in all three configurations (fast, no-op
+   listener, annotated+device), asserting *exact* cycle, instruction,
+   return-value, heap, print, and event-count agreement with the
+   matching JIT-off path.
 
-All four must agree on the return value; paths 1/2 must agree on exact
+All paths must agree on the return value; paths 1/2 must agree on exact
 cycle and instruction counts (any drift is a dispatch-table bug).  On
 top of the differential checks, the annotated run's byproducts are fed
 through every runtime invariant the tracer and the TLS simulator
@@ -67,7 +73,12 @@ KIND_OPT_REGRESSION = "optimizer-regression"
 KIND_TLS_INVARIANT = "tls-invariant"
 KIND_TLS_BOUNDS = "tls-bounds"
 KIND_BUFFER_LIMIT = "buffer-limit"
+KIND_TRACE_JIT = "trace-jit-divergence"
 KIND_CRASH = "crash"
+
+#: hotness threshold for the fifth path: aggressive enough that the
+#: short loops fuzz programs contain actually record and link
+TRACE_JIT_FUZZ_THRESHOLD = 2
 
 
 class ConformanceViolation(ReproError):
@@ -95,6 +106,8 @@ class CheckOutcome:
         self.n_loops = 0
         self.selected_ids: List[int] = []
         self.tls_simulated = 0
+        #: superblocks linked across the fifth path's three runs
+        self.jit_traces = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return ("CheckOutcome(%s ret=%r loops=%d selected=%r)"
@@ -139,15 +152,18 @@ def check_source(source: str, seed: Optional[int] = None,
     except ReproError as exc:
         _raise(KIND_UNREACHABLE, str(exc), seed)
 
-    # path 1: fast dispatch (no listener)
-    fast = run_program(program, max_instructions=max_instructions)
+    # path 1: fast dispatch (no listener); the trace JIT is forced off
+    # so this stays the reference semantics the fifth path diffs against
+    fast = run_program(program, max_instructions=max_instructions,
+                       trace_jit=False)
     outcome.return_value = fast.return_value
     outcome.fast_cycles = fast.cycles
 
     # path 2: instrumented dispatch with a no-op listener — identical
     # observable behaviour is the whole contract of the fast path
     traced = run_program(program, listener=TraceListener(),
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions,
+                         trace_jit=False)
     if (traced.return_value, traced.cycles, traced.instructions) != \
             (fast.return_value, fast.cycles, fast.instructions):
         _raise(KIND_DISPATCH,
@@ -167,7 +183,7 @@ def check_source(source: str, seed: Optional[int] = None,
     profiled = run_program(
         annotated.program,
         listener=MulticastListener([device, recording]),
-        max_instructions=max_instructions)
+        max_instructions=max_instructions, trace_jit=False)
     try:
         device.finish()
     except TracerError as exc:
@@ -197,7 +213,8 @@ def check_source(source: str, seed: Optional[int] = None,
     # path 4: scalar optimizer on a copy
     clone = program.copy()
     optimize_program(clone)
-    optimized = run_program(clone, max_instructions=max_instructions)
+    optimized = run_program(clone, max_instructions=max_instructions,
+                            trace_jit=False)
     if optimized.return_value != fast.return_value:
         _raise(KIND_OPTIMIZER, "optimized run returned %r, plain %r"
                % (optimized.return_value, fast.return_value), seed)
@@ -206,6 +223,69 @@ def check_source(source: str, seed: Optional[int] = None,
                "optimizer grew instruction count (%d > %d)"
                % (optimized.instructions, fast.instructions), seed)
     outcome.optimized_instructions = optimized.instructions
+
+    # path 5: trace JIT at an aggressive threshold, diffed exactly
+    # against the JIT-off reference runs.  Three configurations: the
+    # fast loop, the no-op-listener traced loop, and the annotated
+    # program with a fresh device — the latter exercises superblock
+    # event emission and marker flushes against the full tracer.
+    jit_fast = run_program(
+        program, max_instructions=max_instructions, trace_jit=True,
+        trace_jit_threshold=TRACE_JIT_FUZZ_THRESHOLD)
+    if (jit_fast.return_value, jit_fast.cycles,
+            jit_fast.instructions) != \
+            (fast.return_value, fast.cycles, fast.instructions):
+        _raise(KIND_TRACE_JIT,
+               "fast jit=(%r, %d cyc, %d ins) reference=(%r, %d cyc, "
+               "%d ins)"
+               % (jit_fast.return_value, jit_fast.cycles,
+                  jit_fast.instructions, fast.return_value,
+                  fast.cycles, fast.instructions), seed)
+    if jit_fast.heap.snapshot() != fast.heap.snapshot():
+        _raise(KIND_TRACE_JIT, "fast jit heap diverged", seed)
+    if jit_fast.printed != fast.printed:
+        _raise(KIND_TRACE_JIT, "fast jit printed %r, reference %r"
+               % (jit_fast.printed, fast.printed), seed)
+    jit_traced = run_program(
+        program, listener=TraceListener(),
+        max_instructions=max_instructions, trace_jit=True,
+        trace_jit_threshold=TRACE_JIT_FUZZ_THRESHOLD)
+    if (jit_traced.return_value, jit_traced.cycles,
+            jit_traced.instructions) != \
+            (fast.return_value, fast.cycles, fast.instructions):
+        _raise(KIND_TRACE_JIT,
+               "traced jit=(%r, %d cyc, %d ins) reference=(%r, %d cyc, "
+               "%d ins)"
+               % (jit_traced.return_value, jit_traced.cycles,
+                  jit_traced.instructions, fast.return_value,
+                  fast.cycles, fast.instructions), seed)
+    jit_device = TestDevice(config)
+    for lid, cand in annotated.annotated_loops.items():
+        jit_device.register_loop_locals(lid, cand.tracked_locals)
+    jit_recording = ColumnarRecording()
+    jit_profiled = run_program(
+        annotated.program,
+        listener=MulticastListener([jit_device, jit_recording]),
+        max_instructions=max_instructions, trace_jit=True,
+        trace_jit_threshold=TRACE_JIT_FUZZ_THRESHOLD)
+    try:
+        jit_device.finish()
+    except TracerError as exc:
+        _raise(KIND_TRACE_JIT, "annotated jit: %s" % exc, seed)
+    if (jit_profiled.return_value, jit_profiled.cycles,
+            jit_profiled.instructions, len(jit_recording)) != \
+            (profiled.return_value, profiled.cycles,
+             profiled.instructions, len(recording)):
+        _raise(KIND_TRACE_JIT,
+               "annotated jit=(%r, %d cyc, %d ins, %d ev) "
+               "reference=(%r, %d cyc, %d ins, %d ev)"
+               % (jit_profiled.return_value, jit_profiled.cycles,
+                  jit_profiled.instructions, len(jit_recording),
+                  profiled.return_value, profiled.cycles,
+                  profiled.instructions, len(recording)), seed)
+    for jit_run in (jit_fast, jit_traced, jit_profiled):
+        if jit_run.jit is not None:
+            outcome.jit_traces += jit_run.jit["traces_linked"]
 
     # TLS checks, reusing the path-3 byproducts (no second profile)
     selection = select_stls(device, profiled.cycles, config)

@@ -55,6 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="emit the machine-readable report (same "
                           "schema and bytes as the analysis service)")
+    run.add_argument("--trace-jit", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="run the interpreter's trace-recording "
+                          "superblock JIT (default on; JRPM_TRACE_JIT "
+                          "overrides when neither flag is given)")
 
     fleet = sub.add_parser(
         "fleet", help="run the pipeline over many workloads")
@@ -83,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable per-workload "
                             "reports (one shared schema with "
                             "'jrpm run --json' and the service)")
+    fleet.add_argument("--trace-jit",
+                       action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="trace-recording superblock JIT in every "
+                            "worker (default on; JRPM_TRACE_JIT "
+                            "overrides when neither flag is given)")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived analysis service")
@@ -122,6 +133,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "on shutdown")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--trace-jit",
+                       action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="trace-recording superblock JIT for all "
+                            "analyses (default on; JRPM_TRACE_JIT "
+                            "overrides when neither flag is given)")
 
     cache = sub.add_parser(
         "cache", help="inspect or maintain an artifact cache directory")
@@ -234,7 +251,8 @@ def _run_fleet_command(args) -> int:
     result = run_fleet(workloads=workloads, jobs=args.jobs,
                        cache=cache, on_error="row", level=level,
                        timeout=args.timeout, retries=args.retries,
-                       simulate_tls=not args.no_tls)
+                       simulate_tls=not args.no_tls,
+                       trace_jit=args.trace_jit)
     elapsed = time.perf_counter() - start
 
     if args.json:
@@ -296,7 +314,8 @@ def _run_serve_command(args) -> int:
         max_batch=args.max_batch,
         result_cache_size=args.result_cache,
         timeout=args.timeout, retries=args.retries,
-        metrics_dump=args.metrics_dump, verbose=args.verbose)
+        metrics_dump=args.metrics_dump, verbose=args.verbose,
+        trace_jit=args.trace_jit)
     service.install_signal_handlers()
     service.start()
     print("jrpm-serve listening on http://%s:%d "
@@ -515,7 +534,7 @@ def main(argv=None) -> int:
     level = AnnotationLevel.BASE if args.base \
         else AnnotationLevel.OPTIMIZED
     jrpm = Jrpm(source=source, name=name, level=level,
-                extended=args.extended)
+                extended=args.extended, trace_jit=args.trace_jit)
     report = jrpm.run(simulate_tls=not args.no_tls)
     if args.json:
         from repro.jrpm.report import report_json
@@ -530,6 +549,10 @@ def main(argv=None) -> int:
     if report.engine is not None:
         print()
         print(render_engine_stats(report))
+    if jrpm.trace_jit:
+        from repro.jrpm.report import render_trace_jit
+        print()
+        print(render_trace_jit(report))
     if args.extended:
         print()
         for sel in report.selection.selected[:3]:

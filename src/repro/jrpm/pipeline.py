@@ -51,6 +51,7 @@ from repro.runtime.events import (
     RecordingListener,
 )
 from repro.runtime.interpreter import Interpreter, RunResult, run_program
+from repro.runtime.tracejit import resolve_trace_jit
 from repro.tls.engine import TraceEngine
 from repro.tls.simulator import TLSResult, simulate_stl
 from repro.tls.stats import ProgramTLSOutcome
@@ -122,7 +123,8 @@ class Jrpm:
                  max_instructions: int = 200_000_000,
                  cache: Optional[ArtifactCache] = None,
                  columnar: bool = True,
-                 stage_hook=None):
+                 stage_hook=None,
+                 trace_jit: Optional[bool] = None):
         if (source is None) == (program is None):
             raise PipelineError(
                 "provide exactly one of source= or program=")
@@ -153,6 +155,10 @@ class Jrpm:
         #: begins (before any cache fetch) — the fleet's fault-
         #: injection harness hangs off this
         self.stage_hook = stage_hook
+        #: run the interpreter with the trace-recording superblock JIT
+        #: (None consults JRPM_TRACE_JIT, default on); resolved eagerly
+        #: so cache keys reflect the effective value, never the env
+        self.trace_jit = resolve_trace_jit(trace_jit)
 
     # -- stages ------------------------------------------------------------
 
@@ -205,13 +211,17 @@ class Jrpm:
         sequential = None
         hit = False
         if cache is not None:
+            # trace_jit is part of the key: cycles are identical by
+            # contract, but the artifact carries the JIT counter
+            # snapshot, so the two modes must never alias
             skey = cache_key(STAGE_SEQUENTIAL, ckey, cost_model,
-                             self.max_instructions)
+                             self.max_instructions, self.trace_jit)
             hit, sequential = cache.fetch(STAGE_SEQUENTIAL, skey)
         if not hit:
             sequential = run_program(
                 program, cost_model=self.cost_model,
-                max_instructions=self.max_instructions)
+                max_instructions=self.max_instructions,
+                trace_jit=self.trace_jit)
             if cache is not None:
                 cache.store(STAGE_SEQUENTIAL, skey, sequential)
         report.sequential = sequential
@@ -229,10 +239,14 @@ class Jrpm:
                 profile_config_key(self.config),
                 self.convergence_threshold, self.extended,
                 self.max_instructions,
-                "columnar" if self.columnar else "rows")
+                "columnar" if self.columnar else "rows",
+                self.trace_jit,
+                # artifact-format version: annotation tallies now live
+                # on the device instead of a fourth artifact element
+                "art2")
             hit, art = cache.fetch(STAGE_PROFILE, pkey)
         if hit:
-            profiled, device, recording, counter = art
+            profiled, device, recording = art
         else:
             device_cls = ExtendedTestDevice if self.extended \
                 else TestDevice
@@ -242,27 +256,30 @@ class Jrpm:
                 device.register_loop_locals(lid, cand.tracked_locals)
             recording = ColumnarRecording() if self.columnar \
                 else RecordingListener()
-            counter = AnnotationCounter()
-            listener = MulticastListener([device, recording, counter])
+            listener = MulticastListener([device, recording])
             interp = Interpreter(
                 annotated.program, cost_model=self.cost_model,
-                listener=listener, max_instructions=self.max_instructions)
+                listener=listener, max_instructions=self.max_instructions,
+                trace_jit=self.trace_jit)
             runtime = ProfilingRuntime(annotated.program, interp)
             device.on_converged = runtime.on_converged
             profiled = interp.run()
             device.finish()
+            # the convergence callback is a bound method of the
+            # runtime, which holds the whole interpreter (and with it
+            # any linked trace-JIT superblocks) — drop it now that
+            # profiling is over so reports stay picklable across the
+            # fleet's process boundary
+            device.on_converged = None
             if cache is not None:
-                # the convergence callback is a bound method of the
-                # runtime, which holds the whole interpreter — drop it
-                # (profiling is over) instead of pickling that graph
-                device.on_converged = None
                 cache.store(STAGE_PROFILE, pkey,
-                            (profiled, device, recording, counter))
+                            (profiled, device, recording))
         report.profiled = profiled
         report.device = device
         report.recording = recording
         report.slowdown = SlowdownBreakdown(
-            report.sequential.cycles, report.profiled.cycles, counter)
+            report.sequential.cycles, report.profiled.cycles,
+            AnnotationCounter.from_device(device))
 
         if report.profiled.return_value != report.sequential.return_value:
             raise PipelineError(
@@ -313,20 +330,22 @@ class Jrpm:
         candidates = find_candidates(program)
         annotated = annotate_program(program, candidates, level)
         base = run_program(program, cost_model=self.cost_model,
-                           max_instructions=self.max_instructions)
-        counter = AnnotationCounter()
+                           max_instructions=self.max_instructions,
+                           trace_jit=self.trace_jit)
         device = TestDevice(self.config)
         device.convergence_threshold = self.convergence_threshold
         for lid, cand in annotated.annotated_loops.items():
             device.register_loop_locals(lid, cand.tracked_locals)
         interp = Interpreter(
             annotated.program, cost_model=self.cost_model,
-            listener=MulticastListener([device, counter]),
-            max_instructions=self.max_instructions)
+            listener=device,
+            max_instructions=self.max_instructions,
+            trace_jit=self.trace_jit)
         runtime = ProfilingRuntime(annotated.program, interp)
         device.on_converged = runtime.on_converged
         profiled = interp.run()
-        return SlowdownBreakdown(base.cycles, profiled.cycles, counter)
+        return SlowdownBreakdown(base.cycles, profiled.cycles,
+                                 AnnotationCounter.from_device(device))
 
 
 def run_pipeline(source: str, name: str = "program",

@@ -77,6 +77,32 @@ def render_engine_stats(report: JrpmReport) -> str:
     return "trace engine\n" + report.engine.stats.render()
 
 
+def render_trace_jit(report: JrpmReport) -> str:
+    """Trace-JIT observability block: per-run recording/link/blacklist
+    counters and the per-trace hit table."""
+    lines = ["trace jit"]
+    for label, result in (("sequential", report.sequential),
+                          ("profiled", report.profiled)):
+        jit = getattr(result, "jit", None)
+        if jit is None:
+            lines.append("  %-10s (disabled)" % label)
+            continue
+        lines.append(
+            "  %-10s linked=%d blacklisted=%d invocations=%d "
+            "iterations=%d guard_failures=%d"
+            % (label, jit["traces_linked"], jit["traces_blacklisted"],
+               jit["invocations"], jit["iterations"],
+               jit["guard_failures"]))
+        for tr in jit["traces"]:
+            lines.append(
+                "    %s+%d (%s): %d ops, %d invocations, "
+                "%d iterations, %d guard failures"
+                % (tr["fn"], tr["anchor"], tr["mode"], tr["ops"],
+                   tr["invocations"], tr["iterations"],
+                   tr["guard_failures"]))
+    return "\n".join(lines)
+
+
 def render_characteristics_row(report: JrpmReport) -> str:
     """This program's row of Table 6 (TEST analysis columns)."""
     table = report.candidates
@@ -112,7 +138,7 @@ def render_characteristics_row(report: JrpmReport) -> str:
 # ---------------------------------------------------------------------------
 
 #: bump when the JSON layout changes shape; consumers pin against it
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 #: required top-level keys and their accepted types.  ``float`` accepts
 #: ints too (JSON has one number type); ``None`` marks nullable fields.
@@ -129,6 +155,7 @@ REPORT_SCHEMA: Dict[str, tuple] = {
     "selection": (dict,),
     "predicted_vs_actual": (dict, type(None)),
     "engine": (dict, type(None)),
+    "trace_jit": (dict, type(None)),
 }
 
 #: required keys of every row in ``selection["selected"]``
@@ -194,7 +221,18 @@ def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
         },
         "predicted_vs_actual": None,
         "engine": None,
+        "trace_jit": None,
     }
+    # per-run trace-JIT counters (getattr: results unpickled from old
+    # cache blobs predate the attribute); all counts are deterministic,
+    # so CLI and service stay byte-identical
+    seq_jit = getattr(report.sequential, "jit", None)
+    prof_jit = getattr(report.profiled, "jit", None)
+    if seq_jit is not None or prof_jit is not None:
+        out["trace_jit"] = {
+            "sequential": seq_jit,
+            "profiled": prof_jit,
+        }
     if report.outcome is not None:
         rows = []
         for loop_id, cycles, pred, actual, vrate in \

@@ -52,6 +52,21 @@ class AnnotationCounter(TraceListener):
             elif kind == "lst":
                 self.swl += 1
 
+    @classmethod
+    def from_device(cls, device) -> "AnnotationCounter":
+        """Annotation tallies read off a :class:`TestDevice` that saw
+        the whole run — the device already counts every category, so
+        profiled runs need no separate counting listener in the event
+        fan-out."""
+        counter = cls()
+        counter.lwl = device.n_local_loads
+        counter.swl = device.n_local_stores
+        counter.sloop = device.n_sloop
+        counter.eoi = device.n_eoi
+        counter.eloop = device.n_eloop
+        counter.readstats = device.n_readstats
+        return counter
+
 
 class SlowdownBreakdown:
     """Figure 6's stacked components for one annotated run."""

@@ -70,6 +70,31 @@ class Heap:
                 "index %d out of range [0,%d)" % (index, len(arr)))
         arr[index] = value
 
+    def load_addr(self, handle, index):
+        """Read element ``index``; returns ``(value, byte_address)``.
+
+        One call where the traced paths would otherwise pay
+        :meth:`load` plus :meth:`address` per event.
+        """
+        arr = self._array(handle)
+        if isinstance(index, float):
+            index = int(index)
+        if not 0 <= index < len(arr):
+            raise HeapError(
+                "index %d out of range [0,%d)" % (index, len(arr)))
+        return arr[index], handle + WORD_SIZE * index
+
+    def store_addr(self, handle, index, value) -> int:
+        """Write element ``index``; returns its byte address."""
+        arr = self._array(handle)
+        if isinstance(index, float):
+            index = int(index)
+        if not 0 <= index < len(arr):
+            raise HeapError(
+                "index %d out of range [0,%d)" % (index, len(arr)))
+        arr[index] = value
+        return handle + WORD_SIZE * index
+
     def length(self, handle) -> int:
         """Element count of the array."""
         return len(self._array(handle))

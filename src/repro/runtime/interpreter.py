@@ -46,6 +46,18 @@ from repro.errors import ExecutionError, HeapError
 from repro.runtime.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.events import TraceListener
 from repro.runtime.heap import Heap
+from repro.runtime.tracejit import (
+    BLACKLIST_MIN_OPS,
+    BLACKLIST_PROBE,
+    FLUSH_AT,
+    MODE_FAST,
+    MODE_FAST_TAIL,
+    MODE_TRACED,
+    MODE_TRACED_TAIL,
+    TraceJIT,
+    record_and_link,
+    resolve_trace_jit,
+)
 from repro.runtime.values import apply_binop, apply_intrinsic, apply_unop
 
 # plain-int opcodes for the dispatch loops (enum compares are slow)
@@ -71,8 +83,9 @@ _READSTATS = int(Op.READSTATS)
 _PRINT = int(Op.PRINT)
 _NOP = int(Op.NOP)
 
-#: memory events buffered before delivery in the traced loop
-_FLUSH_AT = 512
+#: memory events buffered before delivery in the traced loop (shared
+#: with the trace JIT so superblocks flush at identical points)
+_FLUSH_AT = FLUSH_AT
 
 
 def _decode_one(ins) -> tuple:
@@ -82,19 +95,141 @@ def _decode_one(ins) -> tuple:
 
 
 class RunResult:
-    """Outcome of one program execution."""
+    """Outcome of one program execution.
+
+    ``jit`` is a deterministic trace-JIT counter snapshot (see
+    :meth:`~repro.runtime.tracejit.TraceJIT.snapshot`), or ``None``
+    when the trace JIT was disabled for the run.
+    """
 
     def __init__(self, cycles: int, instructions: int, return_value,
-                 heap: Heap, printed: List):
+                 heap: Heap, printed: List, jit=None):
         self.cycles = cycles
         self.instructions = instructions
         self.return_value = return_value
         self.heap = heap
         self.printed = printed
+        self.jit = jit
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<RunResult cycles=%d instrs=%d ret=%r>" % (
             self.cycles, self.instructions, self.return_value)
+
+
+def _trace_point_fast(jit, jstate, anchor, fn_name, code, costs, slots,
+                      heap, printed, cycles, executed, limit, jenv):
+    """Handle a hot backedge target in the fast loop.
+
+    The inline site has already filtered blacklisted anchors; here the
+    anchor is either warming (int countdown), due for recording, or
+    linked.  Linked traces *chain*: after each invocation the exit pc
+    is dispatched to the next linked trace — the loop trace at a
+    backedge target, or a tail trace at a hot side exit — so control
+    only returns to the generic loop when no superblock covers the
+    exit.  Returns ``(pc, cycles, executed)`` for the loop to adopt.
+    """
+    trace = jstate[anchor]
+    if trace.__class__ is int:
+        if trace > 1:
+            jstate[anchor] = trace - 1
+            return anchor, cycles, executed
+        return record_and_link(jit, MODE_FAST, fn_name, anchor, code,
+                               costs, len(slots), slots, heap, printed,
+                               cycles, executed, limit)
+    tstate = jit.state_for(fn_name, MODE_FAST_TAIL, len(code))
+    state = jstate
+    while True:
+        res = trace.fn(slots, cycles, executed, jenv)
+        delta = res[2] - executed
+        trace.invocations += 1
+        trace.ops += delta
+        full = delta // trace.n_ops
+        trace.iterations += full
+        if delta - full * trace.n_ops:
+            trace.aborts += 1
+        if trace.invocations == BLACKLIST_PROBE and \
+                trace.ops < BLACKLIST_PROBE * BLACKLIST_MIN_OPS:
+            jit.blacklist(state, trace.anchor)
+        if delta == 0:
+            # budget exit: no progress was committed, so chaining would
+            # spin — the generic loop re-executes and raises exactly
+            return res
+        npc = res[0]
+        cycles = res[1]
+        executed = res[2]
+        nxt = jstate[npc]
+        if nxt is not None and nxt.__class__ is not int:
+            trace = nxt
+            state = jstate
+            continue
+        nxt = tstate[npc]
+        if nxt is None:
+            return res
+        if nxt.__class__ is int:
+            if nxt > 1:
+                tstate[npc] = nxt - 1
+                return res
+            return record_and_link(jit, MODE_FAST, fn_name, npc, code,
+                                   costs, len(slots), slots, heap,
+                                   printed, cycles, executed, limit,
+                                   tail=True)
+        trace = nxt
+        state = tstate
+
+
+def _trace_point_traced(jit, jstate, anchor, fn_name, code, costs, slots,
+                        heap, printed, cycles, executed, limit, jenv,
+                        listener, buf, frame_id):
+    """Traced-loop twin of :func:`_trace_point_fast`: superblocks and
+    the recorder publish the identical event stream."""
+    trace = jstate[anchor]
+    if trace.__class__ is int:
+        if trace > 1:
+            jstate[anchor] = trace - 1
+            return anchor, cycles, executed
+        return record_and_link(jit, MODE_TRACED, fn_name, anchor, code,
+                               costs, len(slots), slots, heap, printed,
+                               cycles, executed, limit,
+                               listener=listener, buf=buf,
+                               frame_id=frame_id)
+    tstate = jit.state_for(fn_name, MODE_TRACED_TAIL, len(code))
+    state = jstate
+    while True:
+        res = trace.fn(slots, cycles, executed, frame_id, jenv)
+        delta = res[2] - executed
+        trace.invocations += 1
+        trace.ops += delta
+        full = delta // trace.n_ops
+        trace.iterations += full
+        if delta - full * trace.n_ops:
+            trace.aborts += 1
+        if trace.invocations == BLACKLIST_PROBE and \
+                trace.ops < BLACKLIST_PROBE * BLACKLIST_MIN_OPS:
+            jit.blacklist(state, trace.anchor)
+        if delta == 0:
+            return res
+        npc = res[0]
+        cycles = res[1]
+        executed = res[2]
+        nxt = jstate[npc]
+        if nxt is not None and nxt.__class__ is not int:
+            trace = nxt
+            state = jstate
+            continue
+        nxt = tstate[npc]
+        if nxt is None:
+            return res
+        if nxt.__class__ is int:
+            if nxt > 1:
+                tstate[npc] = nxt - 1
+                return res
+            return record_and_link(jit, MODE_TRACED, fn_name, npc, code,
+                                   costs, len(slots), slots, heap,
+                                   printed, cycles, executed, limit,
+                                   listener=listener, buf=buf,
+                                   frame_id=frame_id, tail=True)
+        trace = nxt
+        state = tstate
 
 
 class Interpreter:
@@ -103,7 +238,9 @@ class Interpreter:
     def __init__(self, program: Program,
                  cost_model: CostModel = None,
                  listener: Optional[TraceListener] = None,
-                 max_instructions: int = 200_000_000):
+                 max_instructions: int = 200_000_000,
+                 trace_jit: Optional[bool] = None,
+                 trace_jit_threshold: Optional[int] = None):
         self.program = program
         self.cost_model = cost_model if cost_model is not None \
             else DEFAULT_COSTS
@@ -111,6 +248,12 @@ class Interpreter:
         self.max_instructions = max_instructions
         self._cost_cache = {}
         self._decoded_cache = {}
+        # trace JIT: None consults JRPM_TRACE_JIT (default on); linked
+        # traces persist across run() calls of this instance, like the
+        # decoded/cost caches they are compiled from
+        self.trace_jit = resolve_trace_jit(trace_jit)
+        self._jit = TraceJIT(threshold=trace_jit_threshold) \
+            if self.trace_jit else None
 
     def patch_cost(self, fn_name: str, pc: int, op: Op,
                    sub: int = 0) -> None:
@@ -127,6 +270,12 @@ class Interpreter:
             fn = self.program.functions.get(fn_name)
             if fn is not None:
                 decoded[pc] = _decode_one(fn.code[pc])
+        if self._jit is not None:
+            # superblocks covering this pc baked the old decoded form
+            # and cost prefixes in as constants: drop them and re-arm
+            # their anchors (one already on the stack side-exits at its
+            # next validity check); traces elsewhere stay linked
+            self._jit.invalidate_function(fn_name, pc)
 
     def _costs_for(self, fn: Function) -> List[int]:
         cached = self._cost_cache.get(fn.name)
@@ -163,7 +312,7 @@ class Interpreter:
         slots = [0] * entry.n_slots
         dst = -1
         pc = 0
-        #: (code, costs, slots, return pc, dst, fn_name) per caller
+        #: (code, costs, slots, return pc, dst, fn_name, jstate)
         stack: List[tuple] = []
 
         cycles = 0
@@ -172,6 +321,15 @@ class Interpreter:
 
         heap_load = heap.load
         heap_store = heap.store
+
+        jit = self._jit
+        if jit is not None:
+            jstate = jit.state_for(fn_name, MODE_FAST, len(code))
+            jenv = (limit, heap_load, heap_store, heap.allocate,
+                    heap.length, printed)
+        else:
+            jstate = None
+            jenv = None
 
         while True:
             ins = code[pc]
@@ -197,9 +355,23 @@ class Interpreter:
                 slots[ins[1]] = slots[ins[2]]
                 pc += 1
             elif op == _BR:
-                pc = ins[2] if slots[ins[1]] else ins[3]
+                npc = ins[2] if slots[ins[1]] else ins[3]
+                if npc <= pc and jstate is not None \
+                        and jstate[npc] is not None:
+                    pc, cycles, executed = _trace_point_fast(
+                        jit, jstate, npc, fn_name, code, costs, slots,
+                        heap, printed, cycles, executed, limit, jenv)
+                else:
+                    pc = npc
             elif op == _JMP:
-                pc = ins[1]
+                npc = ins[1]
+                if npc <= pc and jstate is not None \
+                        and jstate[npc] is not None:
+                    pc, cycles, executed = _trace_point_fast(
+                        jit, jstate, npc, fn_name, code, costs, slots,
+                        heap, printed, cycles, executed, limit, jenv)
+                else:
+                    pc = npc
             elif op == _ALOAD:
                 try:
                     slots[ins[1]] = heap_load(slots[ins[2]], slots[ins[3]])
@@ -252,19 +424,24 @@ class Interpreter:
                 new_slots = [0] * callee.n_slots
                 for i, arg_slot in enumerate(ins[7]):
                     new_slots[i] = slots[arg_slot]
-                stack.append((code, costs, slots, pc + 1, dst, fn_name))
+                stack.append((code, costs, slots, pc + 1, dst, fn_name,
+                              jstate))
                 dst = ins[1]
                 fn_name = callee.name
                 code = self._decoded_for(callee)
                 costs = self._costs_for(callee)
                 slots = new_slots
                 pc = 0
+                if jit is not None:
+                    jstate = jit.state_for(fn_name, MODE_FAST, len(code))
             elif op == _RET:
                 value = slots[ins[1]] if ins[1] >= 0 else None
                 if not stack:
-                    return RunResult(cycles, executed, value, heap,
-                                     printed)
-                code, costs, slots, pc, ret_dst, fn_name = stack.pop()
+                    return RunResult(
+                        cycles, executed, value, heap, printed,
+                        None if jit is None else jit.snapshot())
+                (code, costs, slots, pc, ret_dst, fn_name,
+                 jstate) = stack.pop()
                 if dst >= 0:
                     slots[dst] = value
                 dst = ret_dst
@@ -295,7 +472,8 @@ class Interpreter:
         pc = 0
         frame_id = next_frame_id
         next_frame_id += 1
-        #: (code, costs, slots, return pc, dst, fn_name, frame_id)
+        #: (code, costs, slots, return pc, dst, fn_name, frame_id,
+        #: jstate)
         stack: List[tuple] = []
 
         cycles = 0
@@ -313,6 +491,19 @@ class Interpreter:
         # order the unbatched interface delivered
         buf: List[tuple] = []
         buf_append = buf.append
+
+        jit = self._jit
+        if jit is not None:
+            jstate = jit.state_for(fn_name, MODE_TRACED, len(code))
+            # superblocks share buf by identity (cleared, never
+            # rebound), so events they append survive the finally flush
+            jenv = (limit, heap.load_addr, heap.store_addr,
+                    heap.allocate, heap.length, printed, buf, buf_append,
+                    on_mem_batch, listener.on_sloop, listener.on_eoi,
+                    listener.on_eloop, listener.on_readstats)
+        else:
+            jstate = None
+            jenv = None
 
         try:
             while True:
@@ -339,9 +530,25 @@ class Interpreter:
                     slots[ins[1]] = slots[ins[2]]
                     pc += 1
                 elif op == _BR:
-                    pc = ins[2] if slots[ins[1]] else ins[3]
+                    npc = ins[2] if slots[ins[1]] else ins[3]
+                    if npc <= pc and jstate is not None \
+                            and jstate[npc] is not None:
+                        pc, cycles, executed = _trace_point_traced(
+                            jit, jstate, npc, fn_name, code, costs,
+                            slots, heap, printed, cycles, executed,
+                            limit, jenv, listener, buf, frame_id)
+                    else:
+                        pc = npc
                 elif op == _JMP:
-                    pc = ins[1]
+                    npc = ins[1]
+                    if npc <= pc and jstate is not None \
+                            and jstate[npc] is not None:
+                        pc, cycles, executed = _trace_point_traced(
+                            jit, jstate, npc, fn_name, code, costs,
+                            slots, heap, printed, cycles, executed,
+                            limit, jenv, listener, buf, frame_id)
+                    else:
+                        pc = npc
                 elif op == _ALOAD:
                     try:
                         slots[ins[1]] = heap_load(
@@ -409,7 +616,7 @@ class Interpreter:
                     for i, arg_slot in enumerate(ins[7]):
                         new_slots[i] = slots[arg_slot]
                     stack.append((code, costs, slots, pc + 1, dst,
-                                  fn_name, frame_id))
+                                  fn_name, frame_id, jstate))
                     dst = ins[1]
                     fn_name = callee.name
                     code = self._decoded_for(callee)
@@ -418,16 +625,20 @@ class Interpreter:
                     pc = 0
                     frame_id = next_frame_id
                     next_frame_id += 1
+                    if jit is not None:
+                        jstate = jit.state_for(fn_name, MODE_TRACED,
+                                               len(code))
                 elif op == _RET:
                     value = slots[ins[1]] if ins[1] >= 0 else None
                     if not stack:
                         if buf:
                             on_mem_batch(buf)
                             buf.clear()
-                        return RunResult(cycles, executed, value, heap,
-                                         printed)
+                        return RunResult(
+                            cycles, executed, value, heap, printed,
+                            None if jit is None else jit.snapshot())
                     (code, costs, slots, pc, ret_dst, fn_name,
-                     frame_id) = stack.pop()
+                     frame_id, jstate) = stack.pop()
                     if dst >= 0:
                         slots[dst] = value
                     dst = ret_dst
@@ -488,8 +699,12 @@ class Interpreter:
 def run_program(program: Program,
                 cost_model: CostModel = None,
                 listener: Optional[TraceListener] = None,
-                max_instructions: int = 200_000_000) -> RunResult:
+                max_instructions: int = 200_000_000,
+                trace_jit: Optional[bool] = None,
+                trace_jit_threshold: Optional[int] = None) -> RunResult:
     """One-call convenience wrapper around :class:`Interpreter`."""
     interp = Interpreter(program, cost_model=cost_model, listener=listener,
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions,
+                         trace_jit=trace_jit,
+                         trace_jit_threshold=trace_jit_threshold)
     return interp.run()

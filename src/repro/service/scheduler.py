@@ -137,7 +137,8 @@ class RequestScheduler:
                  backoff: float = 0.25,
                  rng=None,
                  runner: Optional[Callable[[List[AnalyzeRequest]],
-                                           List[Dict[str, Any]]]] = None):
+                                           List[Dict[str, Any]]]] = None,
+                 trace_jit: Optional[bool] = None):
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1, got %d"
                              % queue_depth)
@@ -152,6 +153,9 @@ class RequestScheduler:
         #: semantics (timeout/retry/crash recovery) survive across
         #: requests; on_error="row" so one bad workload in a batch
         #: fails only its own requests
+        #: interpreter trace JIT for every analysis this service runs
+        #: (None consults JRPM_TRACE_JIT, default on)
+        self.trace_jit = trace_jit
         self.executor = FleetExecutor(
             jobs=jobs, cache=self.cache, on_error="row",
             timeout=timeout, retries=retries, backoff=backoff,
@@ -311,7 +315,8 @@ class RequestScheduler:
             config=first.config,
             simulate_tls=first.simulate_tls,
             level=first.level,
-            extended=first.extended)
+            extended=first.extended,
+            trace_jit=self.trace_jit)
         elapsed = time.monotonic() - started
         self.metrics.merge_cache(
             diff_stats(self.cache.snapshot(), before))
@@ -319,6 +324,7 @@ class RequestScheduler:
         outcomes: List[Dict[str, Any]] = []
         for request, row in zip(requests, result.rows):
             if row.ok:
+                self._merge_trace_jit(row.report)
                 outcomes.append({
                     "status": "ok",
                     "workload": row.name,
@@ -336,6 +342,23 @@ class RequestScheduler:
                     "attempts": row.attempts,
                 })
         return outcomes
+
+    def _merge_trace_jit(self, report) -> None:
+        """Fold one report's interpreter trace-JIT counters into the
+        service metrics (surfaced on /metrics next to the trace-engine
+        stats)."""
+        for result in (getattr(report, "sequential", None),
+                       getattr(report, "profiled", None)):
+            jit = getattr(result, "jit", None)
+            if not jit:
+                continue
+            inc = self.metrics.inc
+            inc("trace_jit_recordings", jit["recordings"])
+            inc("trace_jit_traces_linked", jit["traces_linked"])
+            inc("trace_jit_traces_blacklisted", jit["traces_blacklisted"])
+            inc("trace_jit_invocations", jit["invocations"])
+            inc("trace_jit_iterations", jit["iterations"])
+            inc("trace_jit_guard_failures", jit["guard_failures"])
 
     # -- shutdown --------------------------------------------------------
 

@@ -225,26 +225,32 @@ def prepare_thread(events, eliminated: frozenset) -> PreparedEvents:
 def prepare_view(view: ThreadView, eliminated: frozenset
                  ) -> PreparedEvents:
     """Classify one columnar thread window, reading the shared columns
-    directly — no per-event tuple or string materialization."""
+    directly — no per-event tuple or string materialization.  The
+    window is sliced out of the arrays once so the loop iterates a
+    C-level ``zip`` instead of indexing three columns per event."""
     rec = view.recording
-    kinds, cycles, addrs = rec.kinds, rec.cycles, rec.addresses
+    lo, hi = view.lo, view.hi
     start = view.start
     dep_loads: List[Tuple[int, int, bool]] = []
     stores: List[Tuple[int, int, bool]] = []
     heap_seq: List[Tuple[int, bool, int]] = []
+    dep_append = dep_loads.append
+    stores_append = stores.append
+    heap_append = heap_seq.append
     own = set()
-    for i in range(view.lo, view.hi):
-        kind = kinds[i]
-        addr = addrs[i]
-        rel = cycles[i] - start
+    own_add = own.add
+    _line_of = line_of
+    for kind, addr, cyc in zip(rec.kinds[lo:hi], rec.addresses[lo:hi],
+                               rec.cycles[lo:hi]):
+        rel = cyc - start
         if kind == KIND_LD:
-            heap_seq.append((rel, False, line_of(addr)))
+            heap_append((rel, False, _line_of(addr)))
             if addr not in own:
-                dep_loads.append((rel, addr, False))
+                dep_append((rel, addr, False))
         elif kind == KIND_ST:
-            heap_seq.append((rel, True, line_of(addr)))
-            stores.append((rel, addr, False))
-            own.add(addr)
+            heap_append((rel, True, _line_of(addr)))
+            stores_append((rel, addr, False))
+            own_add(addr)
         else:
             if addr < LOCAL_ADDRESS_BASE:
                 continue
@@ -252,10 +258,10 @@ def prepare_view(view: ThreadView, eliminated: frozenset
                 continue
             if kind == KIND_LLD:
                 if addr not in own:
-                    dep_loads.append((rel, addr, True))
+                    dep_append((rel, addr, True))
             else:
-                stores.append((rel, addr, True))
-                own.add(addr)
+                stores_append((rel, addr, True))
+                own_add(addr)
     return tuple(dep_loads), tuple(stores), tuple(heap_seq)
 
 

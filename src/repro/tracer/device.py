@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import TracerError
 from repro.hydra.config import DEFAULT_HYDRA, HydraConfig
 from repro.runtime.events import TraceListener
-from repro.runtime.heap import line_of
+from repro.runtime.heap import LINE_SIZE, line_of
 from repro.tracer.bank import ArcSink, ComparatorBank
 from repro.tracer.stats import STLStats
 from repro.tracer.timestamps import (
@@ -111,6 +111,13 @@ class TestDevice(TraceListener):
         self.n_local_stores = 0
         self.n_unbanked_activations = 0
         self.n_bank_steals = 0
+        #: executed annotation-marker counts (Figure 6's slowdown
+        #: decomposition reads these instead of multicasting the event
+        #: stream to a dedicated counting listener)
+        self.n_sloop = 0
+        self.n_eoi = 0
+        self.n_eloop = 0
+        self.n_readstats = 0
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -155,6 +162,7 @@ class TestDevice(TraceListener):
 
     def on_sloop(self, loop_id: int, n_locals: int, cycle: int,
                  frame_id: int = -1) -> None:
+        self.n_sloop += 1
         parent = self._stack[-1].loop_id if self._stack else -1
         parents = self.dynamic_parents.setdefault(loop_id, {})
         parents[parent] = parents.get(parent, 0) + 1
@@ -189,6 +197,7 @@ class TestDevice(TraceListener):
             cycle))
 
     def on_eoi(self, loop_id: int, cycle: int) -> None:
+        self.n_eoi += 1
         act = self._top(loop_id, "eoi")
         if act is None:
             return
@@ -198,6 +207,7 @@ class TestDevice(TraceListener):
             self.stats_for(loop_id).threads += 1
 
     def on_eloop(self, loop_id: int, cycle: int) -> None:
+        self.n_eloop += 1
         act = self._top(loop_id, "eloop")
         if act is None:
             return
@@ -238,6 +248,9 @@ class TestDevice(TraceListener):
                     % (what, loop_id, top))
             return None
         return self._stack[-1]
+
+    def on_readstats(self, loop_id: int, cycle: int) -> None:
+        self.n_readstats += 1
 
     # -- memory events ---------------------------------------------------------
 
@@ -289,61 +302,121 @@ class TestDevice(TraceListener):
         hoisted; the activation stack cannot change mid-batch because
         the interpreter flushes before every loop marker — so the
         banked-activation scan is also hoisted to once per batch
-        instead of once per event (converged/unbanked phases of a run
-        then skip the bank loops entirely).
+        instead of once per event.  The line tables are touched with a
+        single combined lookup+record call, and batches arriving while
+        no bank is armed (pre-warmup, converged, or unbanked phases)
+        take a slimmer loop that skips every lookup whose only consumer
+        is a bank observation.
         """
-        heap_lookup = self.heap_ts.lookup
         heap_record = self.heap_ts.record
-        ld_lookup = self.ld_line_ts.lookup
-        ld_record = self.ld_line_ts.record
-        st_lookup = self.st_line_ts.lookup
-        st_record = self.st_line_ts.record
-        local_lookup = self.local_ts.lookup
+        ld_touch = self.ld_line_ts.touch
+        st_touch = self.st_line_ts.touch
         local_record = self.local_ts.record
-        banked = [act for act in self._stack if act.bank is not None]
+        line_size = LINE_SIZE
         n_loads = n_stores = n_local_loads = n_local_stores = 0
-        for ev in events:
-            kind = ev[0]
-            if kind == "ld":
-                n_loads += 1
-                address = ev[1]
-                cycle = ev[2]
-                store_ts = heap_lookup(address)
-                line = line_of(address)
-                old_line = ld_lookup(line)
-                for act in banked:
-                    bank = act.bank
-                    bank.observe_load(store_ts, cycle, False,
-                                      ev[3], ev[4])
-                    bank.observe_line_load(old_line)
-                ld_record(line, cycle)
-            elif kind == "st":
-                n_stores += 1
-                address = ev[1]
-                cycle = ev[2]
-                line = line_of(address)
-                old_line = st_lookup(line)
-                for act in banked:
-                    act.bank.observe_line_store(old_line)
-                st_record(line, cycle)
-                heap_record(address, cycle)
-            elif kind == "lld":
-                n_local_loads += 1
-                frame_id = ev[1]
-                slot = ev[2]
-                ts = local_lookup(frame_id, slot)
-                if ts is None:
-                    continue
-                for act in banked:
-                    if act.frame_id != frame_id:
+        banked = [act for act in self._stack if act.bank is not None]
+        if not banked:
+            # timestamp tables must stay current for banks armed later
+            # (sampling re-arms them mid-run), but nothing consumes the
+            # lookup results now
+            for ev in events:
+                kind = ev[0]
+                if kind == "ld":
+                    n_loads += 1
+                    ld_touch(ev[1] // line_size, ev[2])
+                elif kind == "st":
+                    n_stores += 1
+                    st_touch(ev[1] // line_size, ev[2])
+                    heap_record(ev[1], ev[2])
+                elif kind == "lld":
+                    n_local_loads += 1
+                else:
+                    n_local_stores += 1
+                    local_record(ev[1], ev[2], ev[3])
+        elif len(banked) == 1:
+            # the overwhelmingly common shape — one STL sampling at a
+            # time — gets the bank's observers hoisted out of the loop
+            heap_get = self.heap_ts.get
+            local_get = self.local_ts.get
+            act0 = banked[0]
+            bank0 = act0.bank
+            observe_load = bank0.observe_load
+            observe_line_load = bank0.observe_line_load
+            observe_line_store = bank0.observe_line_store
+            frame0 = act0.frame_id
+            allowed0 = act0.allowed_slots
+            for ev in events:
+                kind = ev[0]
+                if kind == "ld":
+                    n_loads += 1
+                    address = ev[1]
+                    cycle = ev[2]
+                    observe_load(heap_get(address), cycle, False,
+                                 ev[3], ev[4])
+                    observe_line_load(
+                        ld_touch(address // line_size, cycle))
+                elif kind == "st":
+                    n_stores += 1
+                    address = ev[1]
+                    cycle = ev[2]
+                    observe_line_store(
+                        st_touch(address // line_size, cycle))
+                    heap_record(address, cycle)
+                elif kind == "lld":
+                    n_local_loads += 1
+                    frame_id = ev[1]
+                    slot = ev[2]
+                    ts = local_get((frame_id, slot))
+                    if ts is None or frame_id != frame0:
                         continue
-                    if act.allowed_slots is not None \
-                            and slot not in act.allowed_slots:
+                    if allowed0 is not None and slot not in allowed0:
                         continue
-                    act.bank.observe_load(ts, ev[3], True, ev[4], ev[5])
-            else:
-                n_local_stores += 1
-                local_record(ev[1], ev[2], ev[3])
+                    observe_load(ts, ev[3], True, ev[4], ev[5])
+                else:
+                    n_local_stores += 1
+                    local_record(ev[1], ev[2], ev[3])
+        else:
+            heap_get = self.heap_ts.get
+            local_get = self.local_ts.get
+            for ev in events:
+                kind = ev[0]
+                if kind == "ld":
+                    n_loads += 1
+                    address = ev[1]
+                    cycle = ev[2]
+                    store_ts = heap_get(address)
+                    old_line = ld_touch(address // line_size, cycle)
+                    for act in banked:
+                        bank = act.bank
+                        bank.observe_load(store_ts, cycle, False,
+                                          ev[3], ev[4])
+                        bank.observe_line_load(old_line)
+                elif kind == "st":
+                    n_stores += 1
+                    address = ev[1]
+                    cycle = ev[2]
+                    old_line = st_touch(address // line_size, cycle)
+                    for act in banked:
+                        act.bank.observe_line_store(old_line)
+                    heap_record(address, cycle)
+                elif kind == "lld":
+                    n_local_loads += 1
+                    frame_id = ev[1]
+                    slot = ev[2]
+                    ts = local_get((frame_id, slot))
+                    if ts is None:
+                        continue
+                    for act in banked:
+                        if act.frame_id != frame_id:
+                            continue
+                        if act.allowed_slots is not None \
+                                and slot not in act.allowed_slots:
+                            continue
+                        act.bank.observe_load(ts, ev[3], True,
+                                              ev[4], ev[5])
+                else:
+                    n_local_stores += 1
+                    local_record(ev[1], ev[2], ev[3])
         self.n_loads += n_loads
         self.n_stores += n_stores
         self.n_local_loads += n_local_loads

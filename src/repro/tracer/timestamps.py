@@ -49,6 +49,12 @@ class StoreTimestampFIFO:
         """Most recent store timestamp for ``address``, if still held."""
         return self._entries.get(address)
 
+    @property
+    def get(self):
+        """Bound ``dict.get`` over the entries, for batch loops that
+        look up thousands of addresses (lookups never evict)."""
+        return self._entries.get
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -86,6 +92,24 @@ class LineTimestampTable:
         self._tags[idx] = tag
         self._times[idx] = timestamp
 
+    def touch(self, line: int, timestamp: int) -> Optional[int]:
+        """:meth:`lookup` then :meth:`record` in one call — the shape
+        every load/store event takes in the device's batch loop."""
+        shift = self._mask.bit_length()
+        idx = line & self._mask
+        tag = line >> shift
+        tags = self._tags
+        old_tag = tags[idx]
+        if old_tag == tag:
+            old = self._times[idx]
+        else:
+            old = None
+            if old_tag is not None:
+                self.conflicts += 1
+        tags[idx] = tag
+        self._times[idx] = timestamp
+        return old
+
 
 class LocalTimestampTable:
     """Local-variable store timestamps, keyed by (frame, slot).
@@ -112,6 +136,12 @@ class LocalTimestampTable:
 
     def lookup(self, frame_id: int, slot: int) -> Optional[int]:
         return self._entries.get((frame_id, slot))
+
+    @property
+    def get(self):
+        """Bound ``dict.get`` over the ``(frame, slot)`` entries, for
+        batch loops (lookups never evict)."""
+        return self._entries.get
 
     def __len__(self) -> int:
         return len(self._entries)

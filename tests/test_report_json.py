@@ -99,7 +99,8 @@ def test_serialization_is_deterministic():
 
 class TestSchemaStability:
     def test_schema_version_is_pinned(self):
-        assert REPORT_SCHEMA_VERSION == 1
+        # v2: added the nullable "trace_jit" block
+        assert REPORT_SCHEMA_VERSION == 2
 
     def test_top_level_keys_are_frozen(self):
         # adding or removing a key is a schema-version bump, not a drift
@@ -107,7 +108,7 @@ class TestSchemaStability:
             "schema_version", "name", "sequential_cycles",
             "profiled_cycles", "profiling_slowdown", "loops_profiled",
             "coverage", "predicted_speedup", "actual_speedup",
-            "selection", "predicted_vs_actual", "engine",
+            "selection", "predicted_vs_actual", "engine", "trace_jit",
         }
 
     def test_selection_row_keys_are_frozen(self):

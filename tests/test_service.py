@@ -15,7 +15,11 @@ import time
 
 import pytest
 
-from repro.jrpm.report import dumps_canonical, validate_report_dict
+from repro.jrpm.report import (
+    REPORT_SCHEMA_VERSION,
+    dumps_canonical,
+    validate_report_dict,
+)
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.protocol import (
     AnalyzeRequest,
@@ -554,14 +558,15 @@ class TestBackpressure:
     def _fake_report(name):
         """Minimal dict satisfying REPORT_SCHEMA (the HTTP handler
         validates every 200 response against it)."""
-        return {"schema_version": 1, "name": name,
+        return {"schema_version": REPORT_SCHEMA_VERSION, "name": name,
                 "sequential_cycles": 1, "profiled_cycles": 1,
                 "profiling_slowdown": 1.0, "loops_profiled": 0,
                 "coverage": 0.0, "predicted_speedup": 1.0,
                 "actual_speedup": None,
                 "selection": {"total_cycles": 1, "serial_cycles": 1,
                               "selected": []},
-                "predicted_vs_actual": None, "engine": None}
+                "predicted_vs_actual": None, "engine": None,
+                "trace_jit": None}
 
     def test_sheds_with_429_and_retry_after(self):
         release = threading.Event()
