@@ -218,6 +218,11 @@ def check_source(source: str, seed: Optional[int] = None,
     if optimized.return_value != fast.return_value:
         _raise(KIND_OPTIMIZER, "optimized run returned %r, plain %r"
                % (optimized.return_value, fast.return_value), seed)
+    if optimized.printed != fast.printed:
+        _raise(KIND_OPTIMIZER, "optimized run printed %r, plain %r"
+               % (optimized.printed, fast.printed), seed)
+    if optimized.heap.snapshot() != fast.heap.snapshot():
+        _raise(KIND_OPTIMIZER, "optimized run heap diverged", seed)
     if optimized.instructions > fast.instructions:
         _raise(KIND_OPT_REGRESSION,
                "optimizer grew instruction count (%d > %d)"

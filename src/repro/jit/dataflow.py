@@ -1,0 +1,143 @@
+"""A small iterative dataflow framework over :class:`repro.cfg.CFG`.
+
+Two union/gen-kill solvers — forward and backward — plus the two
+concrete analyses the optimizer passes need: liveness (drives global
+dead-code elimination and the loop-invariant hoist-safety checks) and
+reaching definitions (the dominating-definition check for hoisted
+loads).  Both operate on whole basic blocks; the per-instruction
+refinement happens inside the passes themselves.
+
+Sets are plain frozensets and the solvers iterate to a fixed point in
+reverse postorder (forward) or its reverse (backward); our CFGs are
+reducible (structured codegen), so this converges in a handful of
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.cfg.graph import CFG
+from repro.jit.effects import instr_reads, instr_writes
+
+BlockSets = Dict[int, FrozenSet]
+
+
+def solve_forward(cfg: CFG, gen: BlockSets, kill: BlockSets,
+                  ) -> Tuple[BlockSets, BlockSets]:
+    """Forward union problem: in[b] = U out[p]; out[b] = gen | (in - kill).
+
+    Returns ``(in_map, out_map)`` over every reachable block;
+    unreachable blocks get empty sets.
+    """
+    order = cfg.reverse_postorder()
+    preds = cfg.predecessors_map()
+    empty: FrozenSet = frozenset()
+    in_map: BlockSets = {bid: empty for bid in cfg.blocks}
+    out_map: BlockSets = {bid: empty for bid in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            new_in: FrozenSet = empty
+            for p in preds.get(bid, ()):
+                new_in = new_in | out_map[p]
+            new_out = gen.get(bid, empty) | (new_in - kill.get(bid, empty))
+            if new_in != in_map[bid] or new_out != out_map[bid]:
+                in_map[bid] = new_in
+                out_map[bid] = new_out
+                changed = True
+    return in_map, out_map
+
+
+def solve_backward(cfg: CFG, gen: BlockSets, kill: BlockSets,
+                   ) -> Tuple[BlockSets, BlockSets]:
+    """Backward union problem: out[b] = U in[s]; in[b] = gen | (out - kill)."""
+    order = cfg.reverse_postorder()
+    order.reverse()
+    empty: FrozenSet = frozenset()
+    in_map: BlockSets = {bid: empty for bid in cfg.blocks}
+    out_map: BlockSets = {bid: empty for bid in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            new_out: FrozenSet = empty
+            for s in cfg.successors(bid):
+                new_out = new_out | in_map[s]
+            new_in = gen.get(bid, empty) | (new_out - kill.get(bid, empty))
+            if new_out != out_map[bid] or new_in != in_map[bid]:
+                out_map[bid] = new_out
+                in_map[bid] = new_in
+                changed = True
+    return in_map, out_map
+
+
+# ---------------------------------------------------------------------------
+# liveness
+# ---------------------------------------------------------------------------
+
+def block_uses_defs(instrs) -> Tuple[FrozenSet, FrozenSet]:
+    """Upward-exposed uses and defined slots of one block's instructions."""
+    uses: set = set()
+    defs: set = set()
+    for ins in instrs:
+        for s in instr_reads(ins):
+            if s not in defs:
+                uses.add(s)
+        w = instr_writes(ins)
+        if w is not None:
+            defs.add(w)
+    return frozenset(uses), frozenset(defs)
+
+
+def compute_liveness(cfg: CFG) -> Tuple[BlockSets, BlockSets]:
+    """Per-block live-in / live-out slot sets.
+
+    ``live_in[b]`` is the set of slots whose value on entry to ``b``
+    may still be read; a def whose slot is not live immediately after
+    it is dead.  Exit blocks (RET) have empty live-out — RET's own
+    read is part of its block's use set.
+    """
+    gen: BlockSets = {}
+    kill: BlockSets = {}
+    for bid, block in cfg.blocks.items():
+        uses, defs = block_uses_defs(block.instrs)
+        gen[bid] = uses
+        kill[bid] = defs
+    return solve_backward(cfg, gen, kill)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+# ---------------------------------------------------------------------------
+
+def compute_reaching_defs(cfg: CFG) -> Tuple[BlockSets, BlockSets]:
+    """Per-block reaching-definition sets.
+
+    Elements are ``(slot, bid, idx)`` def sites.  A def reaches a point
+    when some path from it to the point contains no other def of the
+    same slot.  Slots never written anywhere simply have no sites
+    (bytecode slots default to 0 at frame entry).
+    """
+    # collect def sites and the set of sites per slot (for kill sets)
+    sites_of_slot: Dict[int, List[Tuple[int, int, int]]] = {}
+    for bid, block in cfg.blocks.items():
+        for idx, ins in enumerate(block.instrs):
+            w = instr_writes(ins)
+            if w is not None:
+                sites_of_slot.setdefault(w, []).append((w, bid, idx))
+    gen: BlockSets = {}
+    kill: BlockSets = {}
+    for bid, block in cfg.blocks.items():
+        last: Dict[int, Tuple[int, int, int]] = {}
+        for idx, ins in enumerate(block.instrs):
+            w = instr_writes(ins)
+            if w is not None:
+                last[w] = (w, bid, idx)
+        gen[bid] = frozenset(last.values())
+        killed: set = set()
+        for slot in last:
+            killed.update(s for s in sites_of_slot[slot] if s[1] != bid)
+        kill[bid] = frozenset(killed)
+    return solve_forward(cfg, gen, kill)

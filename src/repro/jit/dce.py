@@ -1,0 +1,82 @@
+"""Global dead-code elimination driven by liveness.
+
+A definition is removed when its slot is dead immediately after it
+*and* the instruction is free of every other effect: no output, no
+heap access or allocation, no call, and — crucially — no possible
+fault.  The legacy optimizer restricted itself to temp slots because
+its analysis was whole-function flow-insensitive; with per-block
+liveness, dead stores to *named locals* go too (which also drops
+their would-be ``SWL`` tracer events downstream).
+
+The fault guard is what keeps the conformance differential honest:
+``1 / zero`` assigned to a never-read local still faults in the
+unoptimized program, so it must fault in the optimized one.  Only
+instruction classes that are total over all runtime values are
+eligible (see :mod:`repro.jit.effects`).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.bytecode.program import Function
+from repro.cfg.graph import build_cfg
+from repro.jit.layout import relinearize
+from repro.jit.dataflow import compute_liveness
+from repro.jit.effects import (SAFE_BIN, SAFE_UN, has_annotations,
+                               instr_reads, instr_writes)
+
+#: opcodes whose only effect is writing their destination slot
+_PURE_OPS = frozenset([Op.CONST, Op.MOV])
+
+
+def _removable_if_dead(ins) -> bool:
+    op = ins.op
+    if op in _PURE_OPS:
+        return True
+    if op == Op.BIN:
+        return BinOp(ins.sub) in SAFE_BIN
+    if op == Op.UN:
+        return UnOp(ins.sub) in SAFE_UN
+    # ALOAD/LEN/NEWARR/INTRIN/CALL all either fault for some inputs or
+    # have observable effects (allocation identity, callee effects), so
+    # they survive even when their result is dead.
+    return False
+
+
+def dce_function(fn: Function, stats) -> bool:
+    """Remove dead definitions from ``fn``; returns True when changed."""
+    if has_annotations(fn):
+        return False
+    cfg = build_cfg(fn)
+    reachable = cfg.reachable()
+    changed = False
+    # removing a def kills its operands' uses, which can expose more
+    # dead defs upstream — iterate to a (small) fixed point
+    for _ in range(16):
+        _in, out = compute_liveness(cfg)
+        removed = 0
+        for bid in reachable:
+            block = cfg.blocks[bid]
+            live = set(out[bid])
+            kept = []
+            for ins in reversed(block.instrs):
+                w = instr_writes(ins)
+                if ins.op == Op.MOV and ins.a == ins.b:
+                    removed += 1  # self-move: no effect regardless of liveness
+                    continue
+                if w is not None and w not in live and _removable_if_dead(ins):
+                    removed += 1
+                    continue
+                if w is not None:
+                    live.discard(w)
+                live.update(instr_reads(ins))
+                kept.append(ins)
+            kept.reverse()
+            block.instrs[:] = kept
+        if removed == 0:
+            break
+        stats.dead_removed += removed
+        changed = True
+    if changed:
+        fn.code = relinearize(cfg)
+    return changed

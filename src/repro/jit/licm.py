@@ -1,0 +1,180 @@
+"""Loop-invariant code motion into preheaders.
+
+Natural loops come from the dominator tree (:mod:`repro.cfg`); a loop
+is processed only when it has a *preheader* — a unique outside
+predecessor of the header ending in an unconditional ``JMP`` to it —
+which our structured codegen always produces.  Hoisted instructions
+land just before that ``JMP``, so no new block and no new jump is ever
+introduced.
+
+Hoist conditions (all must hold; see DESIGN.md §11 for the rationale):
+
+1. the candidate's block dominates every exit-edge source of the loop —
+   this is the *count-safety* condition: the preheader runs once per
+   loop entry, and any terminating entry executes such a block at
+   least once, so the dynamic instruction count never increases (the
+   conformance suite's strict ``KIND_OPT_REGRESSION`` gate).  For our
+   top-test loops this limits hoisting to the header block, which is
+   exactly where codegen re-materializes loop-bound constants and
+   re-evaluates bound expressions every iteration;
+2. no operand is written anywhere in the loop, and — the
+   dominating-definition safety check — every definition of an operand
+   reaching the header lies outside the loop (so the value read in the
+   preheader equals the value the instruction saw in place);
+3. the destination has exactly one definition in the loop (this
+   instruction) and is not live into the header (its pre-loop value is
+   never read on any path inside the loop);
+4. instruction class:
+   * pure, non-faulting ops (``CONST``/``MOV``/total ``BIN``/``UN``
+     subops) hoist on conditions 1–3 alone;
+   * possibly-faulting pure ops (``DIV``/``MOD``/shift/bitwise,
+     ``INV``/``F2I``, ``INTRIN``, ``LEN``) additionally require that no
+     observable op (``PRINT``/``ASTORE``/``CALL``/``NEWARR``) precedes
+     them on any same-iteration path — hoisting may only move a fault
+     *earlier*, never past output that the unoptimized program would
+     have produced first;
+   * ``ALOAD`` further requires the loop to contain no ``ASTORE`` or
+     ``CALL`` at all (the loop must not redefine the loaded address);
+   * observable ops, terminators, and annotation opcodes never move —
+     annotated functions are skipped wholesale upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.bytecode.opcodes import BinOp, Op, UnOp
+from repro.bytecode.program import Function
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import build_cfg
+from repro.jit.layout import relinearize
+from repro.cfg.natural_loops import find_loops
+from repro.jit.dataflow import (compute_liveness, compute_reaching_defs)
+from repro.jit.effects import (HEAP_WRITERS, OBSERVABLE_OPS, SAFE_BIN,
+                               SAFE_UN, has_annotations, instr_reads,
+                               instr_writes)
+
+_KIND_NO, _KIND_PURE, _KIND_FAULTING, _KIND_LOAD = 0, 1, 2, 3
+
+
+def _hoist_kind(ins) -> int:
+    op = ins.op
+    if op in (Op.CONST, Op.MOV):
+        return _KIND_PURE
+    if op == Op.BIN:
+        return _KIND_PURE if BinOp(ins.sub) in SAFE_BIN else _KIND_FAULTING
+    if op == Op.UN:
+        return _KIND_PURE if UnOp(ins.sub) in SAFE_UN else _KIND_FAULTING
+    if op in (Op.LEN, Op.INTRIN):
+        return _KIND_FAULTING
+    if op == Op.ALOAD:
+        return _KIND_LOAD
+    return _KIND_NO
+
+
+def licm_function(fn: Function, stats) -> bool:
+    """Hoist invariant code out of ``fn``'s loops; True when changed."""
+    if has_annotations(fn):
+        return False
+    cfg = build_cfg(fn)
+    dom = compute_dominators(cfg)
+    forest = find_loops(cfg, dom)
+    if not forest.loops:
+        return False
+    live_in, _out = compute_liveness(cfg)
+    hoisted_any = False
+    # innermost loops first: an inner hoist lands in the inner
+    # preheader, which sits inside the outer loop and is re-examined
+    # when the outer loop's turn comes
+    for loop in sorted(forest.loops, key=lambda lp: -lp.depth):
+        if _hoist_loop(cfg, dom, loop, live_in, stats):
+            hoisted_any = True
+    if hoisted_any:
+        fn.code = relinearize(cfg)
+    return hoisted_any
+
+
+def _hoist_loop(cfg, dom, loop, live_in, stats) -> bool:
+    entries = loop.entry_edges(cfg)
+    if len(entries) != 1:
+        return False
+    pre = entries[0][0]
+    pre_term = cfg.blocks[pre].terminator
+    if pre_term.op != Op.JMP or pre_term.a != loop.header:
+        return False
+
+    exit_sources = {src for src, _dst in loop.exit_edges(cfg)}
+    if not exit_sources:
+        # a loop with no exit only terminates via the instruction
+        # limit; there is no count-safety anchor, so leave it alone
+        return False
+    header_live_in = live_in[loop.header]
+
+    moved = False
+    for _round in range(64):
+        # recomputed each round: a hoist moves def sites out of the
+        # loop, which is precisely what unblocks its dependent chain
+        # (CONST k, then the BIN that consumes k, ...)
+        header_reach = compute_reaching_defs(cfg)[0][loop.header]
+        # per-round loop facts (hoists performed last round changed them)
+        write_count: Dict[int, int] = {}
+        heap_mutating = False
+        observable_blocks: Set[int] = set()
+        for bid in loop.blocks:
+            for ins in cfg.blocks[bid].instrs:
+                w = instr_writes(ins)
+                if w is not None:
+                    write_count[w] = write_count.get(w, 0) + 1
+                if ins.op in OBSERVABLE_OPS:
+                    observable_blocks.add(bid)
+                if ins.op in HEAP_WRITERS:
+                    heap_mutating = True
+
+        hoist = None
+        for bid in sorted(loop.blocks):
+            if not all(dom.dominates(bid, e) for e in exit_sources):
+                continue
+            block = cfg.blocks[bid]
+            seen_observable = False
+            for idx, ins in enumerate(block.instrs[:-1]):
+                op = ins.op
+                kind = _hoist_kind(ins)
+                if kind == _KIND_NO:
+                    if op in OBSERVABLE_OPS:
+                        seen_observable = True
+                    continue
+                w = instr_writes(ins)
+                if w is None or write_count.get(w, 0) != 1:
+                    continue
+                if w in header_live_in:
+                    continue
+                reads = instr_reads(ins)
+                if any(write_count.get(s, 0) for s in reads):
+                    continue
+                # dominating-definition safety: operand values entering
+                # the header must come only from outside the loop
+                if any(dbid in loop.blocks
+                       for slot, dbid, _i in header_reach
+                       if slot in reads):
+                    continue
+                if kind in (_KIND_FAULTING, _KIND_LOAD):
+                    if seen_observable:
+                        continue
+                    if any(ob != bid and not dom.dominates(bid, ob)
+                           for ob in observable_blocks):
+                        continue
+                if kind == _KIND_LOAD and heap_mutating:
+                    continue
+                hoist = (bid, idx)
+                break
+            if hoist is not None:
+                break
+
+        if hoist is None:
+            break
+        bid, idx = hoist
+        ins = cfg.blocks[bid].instrs.pop(idx)
+        cfg.insert_before_terminator(pre, [ins])
+        stats.licm_hoisted += 1
+        moved = True
+    return moved

@@ -1,260 +1,128 @@
-"""Scalar bytecode optimizations (the microJIT's cleanup passes).
+"""The optimizing pass pipeline (paper Section 3.2: the microJIT
+"also performs optimizations and transformations" before annotating).
 
-Section 3.2: "The compiler also performs optimizations and
-transformations..." — this module provides the classic scalar trio the
-paper's JIT would run before annotation, operating **only on compiler
-temporaries** so named-local tracking (and therefore TEST's analyses)
-is unaffected:
+This module is the pass manager; the passes themselves live in
+sibling modules:
 
-* block-local **constant folding** of ``BIN``/``UN`` over known temps;
-* block-local **copy propagation** through ``MOV`` into temps;
-* whole-function **dead-temporary elimination** of pure, unread
-  definitions (loads, calls and faulting arithmetic are never removed).
+* :mod:`repro.jit.lvn` — local value numbering: constant folding,
+  algebraic identities, CSE (including redundant ``ALOAD``s via a heap
+  epoch), branch folding, and power-of-two strength reduction;
+* :mod:`repro.jit.licm` — loop-invariant code motion into preheaders;
+* :mod:`repro.jit.dce` — liveness-driven global dead-code elimination
+  (safe for named locals, not just temps);
 
-The pass is semantics-preserving by construction: instructions with
-observable effects — memory accesses, calls, prints, annotations,
-faulting div/mod — are kept, and anything involving named locals is
-left untouched.  It is optional in the pipeline (``Jrpm(optimize=True)``)
-so the calibrated baselines stay comparable.
+built on :mod:`repro.jit.effects` (exhaustive read/write/effect
+tables) and :mod:`repro.jit.dataflow` (liveness + reaching defs over
+:mod:`repro.cfg`).
+
+Contract with the rest of the system:
+
+* runs strictly **before** annotation — functions already carrying
+  annotation opcodes are barriers and are left untouched;
+* ``verify_program`` runs after every pass over the whole program, so
+  a pass bug surfaces at its own doorstep rather than three stages
+  later in the interpreter;
+* no pass ever increases the dynamic instruction count of any
+  execution — rewrites are 1:1, removing, or motion into a
+  dominating-entry preheader.  The conformance differential enforces
+  this (``KIND_OPT_REGRESSION``);
+* per-pass counters accumulate in :class:`OptimizeStats`, which
+  travels into ``JrpmReport`` / ``jrpm run --json`` (schema v3) and
+  the analysis service's ``/metrics``.
+
+Pass ordering: LVN first (folding feeds every later pass and exposes
+invariant operands), LICM second (hoists what LVN canonicalized), DCE
+last (sweeps the MOV husks CSE and copy propagation leave behind).
+The trio repeats until a fixed point, bounded by a small round cap.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional
 
-from repro.bytecode.instructions import Instr
-from repro.bytecode.opcodes import BinOp, Op, UnOp
 from repro.bytecode.program import Function, Program
 from repro.bytecode.verifier import verify_program
-from repro.errors import ExecutionError
-from repro.runtime.values import apply_binop, apply_unop
+from repro.jit.dce import dce_function
+from repro.jit.licm import licm_function
+from repro.jit.lvn import lvn_function
+
+_MAX_ROUNDS = 4
+
+#: counter fields, in report order — one per distinct rewrite kind
+STAT_FIELDS = (
+    "folded",             # BIN/UN/INTRIN over constants -> CONST
+    "algebraic",          # x+0, x*1, x/1 ... -> MOV / CONST
+    "cse_replaced",       # recomputed available expression -> MOV
+    "copies_propagated",  # operand rewritten to an equal-valued slot
+    "strength_reduced",   # MUL/DIV/MOD by 2**k -> SHL/SHR/AND
+    "branches_folded",    # BR on a known constant -> JMP
+    "unreachable_removed",  # instructions stranded by branch folding
+    "licm_hoisted",       # loop-invariant instruction moved to preheader
+    "dead_removed",       # dead definition eliminated
+)
 
 
 class OptimizeStats:
-    """What one optimization run accomplished."""
+    """Counters of what the pass pipeline did (schema v3's
+    ``optimize_stats`` block; also merged into service ``/metrics``)."""
+
+    __slots__ = STAT_FIELDS + ("rounds",)
 
     def __init__(self):
-        self.folded = 0
-        self.copies_propagated = 0
-        self.dead_removed = 0
+        for field in STAT_FIELDS:
+            setattr(self, field, 0)
+        self.rounds = 0
 
     @property
     def total(self) -> int:
-        return self.folded + self.copies_propagated + self.dead_removed
+        """Total rewrites across every pass (0 = program unchanged)."""
+        return sum(getattr(self, field) for field in STAT_FIELDS)
+
+    def to_dict(self) -> Dict[str, int]:
+        out = {field: getattr(self, field) for field in STAT_FIELDS}
+        out["rounds"] = self.rounds
+        out["total"] = self.total
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return ("<OptimizeStats folded=%d copies=%d dead=%d>"
-                % (self.folded, self.copies_propagated,
-                   self.dead_removed))
+        inner = ", ".join("%s=%d" % (f, getattr(self, f))
+                          for f in STAT_FIELDS if getattr(self, f))
+        return "<OptimizeStats %s>" % (inner or "clean")
 
 
-def _block_leaders(code: List[Instr]) -> Set[int]:
-    leaders = {0}
-    for pc, ins in enumerate(code):
-        if ins.op == Op.JMP:
-            leaders.add(ins.a)
-            leaders.add(pc + 1)
-        elif ins.op == Op.BR:
-            leaders.add(ins.b)
-            leaders.add(ins.c)
-            leaders.add(pc + 1)
-        elif ins.op == Op.RET:
-            leaders.add(pc + 1)
-    leaders.discard(len(code))
-    return leaders
-
-
-_PURE_DEFS = frozenset([Op.CONST, Op.MOV, Op.UN, Op.LEN])
-#: BIN sub-ops that can fault and must survive even if dead
-_FAULTING_BIN = frozenset([BinOp.DIV, BinOp.MOD, BinOp.SHL, BinOp.SHR])
-
-
-def _reads(ins: Instr) -> List[int]:
-    op = ins.op
-    if op == Op.MOV:
-        return [ins.b]
-    if op == Op.BIN:
-        return [ins.b, ins.c]
-    if op == Op.UN:
-        return [ins.b]
-    if op == Op.NEWARR:
-        return [ins.b]
-    if op == Op.ALOAD:
-        return [ins.b, ins.c]
-    if op == Op.ASTORE:
-        return [ins.a, ins.b, ins.c]
-    if op == Op.LEN:
-        return [ins.b]
-    if op == Op.BR:
-        return [ins.a]
-    if op == Op.RET:
-        return [ins.a] if ins.a >= 0 else []
-    if op in (Op.CALL, Op.INTRIN):
-        return list(ins.args)
-    if op == Op.PRINT:
-        return [ins.a]
-    return []
-
-
-def _writes(ins: Instr) -> Optional[int]:
-    if ins.op in (Op.CONST, Op.MOV, Op.BIN, Op.UN, Op.NEWARR, Op.ALOAD,
-                  Op.LEN, Op.INTRIN):
-        return ins.a
-    if ins.op == Op.CALL and ins.a >= 0:
-        return ins.a
-    return None
+_PASSES = (lvn_function, licm_function, dce_function)
 
 
 def optimize_function(fn: Function,
-                      stats: Optional[OptimizeStats] = None
-                      ) -> OptimizeStats:
-    """Optimize ``fn`` in place; returns the accumulated stats.
-
-    Folding exposes dead temps and removal exposes further folds, so
-    the pair runs to a (small) fixed point.
-    """
+                      stats: Optional[OptimizeStats] = None) -> OptimizeStats:
+    """Optimize a single function in place (no program-level verify —
+    use :func:`optimize_program` for whole programs)."""
     if stats is None:
         stats = OptimizeStats()
-    for _ in range(4):
-        before = stats.total
-        _fold_and_propagate(fn, stats)
-        _remove_dead_temps(fn, stats)
-        if stats.total == before:
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for pass_fn in _PASSES:
+            changed = pass_fn(fn, stats) or changed
+        stats.rounds += 1
+        if not changed:
             break
     return stats
 
 
-def _fold_and_propagate(fn: Function, stats: OptimizeStats) -> None:
-    """Block-local constant folding + copy propagation over temps."""
-    code = fn.code
-    leaders = _block_leaders(code)
-    n_named = fn.n_named
-
-    consts: Dict[int, object] = {}
-    copies: Dict[int, int] = {}
-
-    def invalidate(slot: int) -> None:
-        consts.pop(slot, None)
-        copies.pop(slot, None)
-        for key in [k for k, v in copies.items() if v == slot]:
-            del copies[key]
-
-    def resolve(slot: int) -> int:
-        return copies.get(slot, slot)
-
-    for pc, ins in enumerate(code):
-        if pc in leaders:
-            consts.clear()
-            copies.clear()
-
-        # rewrite operand slots through known copies (temps only)
-        if ins.op == Op.BIN:
-            ins.b = resolve(ins.b)
-            ins.c = resolve(ins.c)
-        elif ins.op in (Op.MOV, Op.UN, Op.LEN, Op.NEWARR):
-            ins.b = resolve(ins.b)
-        elif ins.op == Op.ALOAD:
-            ins.b = resolve(ins.b)
-            ins.c = resolve(ins.c)
-        elif ins.op == Op.ASTORE:
-            ins.a = resolve(ins.a)
-            ins.b = resolve(ins.b)
-            ins.c = resolve(ins.c)
-        elif ins.op == Op.BR:
-            ins.a = resolve(ins.a)
-        elif ins.op == Op.RET and ins.a >= 0:
-            ins.a = resolve(ins.a)
-        elif ins.op in (Op.CALL, Op.INTRIN):
-            ins.args = tuple(resolve(s) for s in ins.args)
-        elif ins.op == Op.PRINT:
-            ins.a = resolve(ins.a)
-
-        # try to fold
-        if ins.op == Op.BIN and ins.b in consts and ins.c in consts:
-            try:
-                value = apply_binop(ins.sub, consts[ins.b],
-                                    consts[ins.c])
-            except ExecutionError:
-                value = None  # would fault: leave it alone
-            if value is not None:
-                dst = ins.a
-                code[pc] = Instr(Op.CONST, a=dst, imm=value)
-                ins = code[pc]
-                stats.folded += 1
-        elif ins.op == Op.UN and ins.b in consts:
-            try:
-                value = apply_unop(ins.sub, consts[ins.b])
-            except ExecutionError:
-                value = None
-            if value is not None:
-                code[pc] = Instr(Op.CONST, a=ins.a, imm=value)
-                ins = code[pc]
-                stats.folded += 1
-
-        # update the block-local facts
-        w = _writes(ins)
-        if w is not None:
-            invalidate(w)
-            if w >= n_named:
-                if ins.op == Op.CONST:
-                    consts[w] = ins.imm
-                elif ins.op == Op.MOV and ins.b != w:
-                    src = resolve(ins.b)
-                    if src != w:
-                        copies[w] = src
-                    if src in consts:
-                        consts[w] = consts[src]
-                    stats.copies_propagated += 1
-
-
-def _remove_dead_temps(fn: Function, stats: OptimizeStats) -> None:
-    """Drop pure definitions of temps that are never read."""
-    code = fn.code
-    n_named = fn.n_named
-    read: Set[int] = set()
-    for ins in code:
-        read.update(_reads(ins))
-
-    def removable(ins: Instr) -> bool:
-        w = _writes(ins)
-        if w is None or w < n_named or w in read:
-            return False
-        if ins.op in _PURE_DEFS:
-            return True
-        if ins.op == Op.BIN and BinOp(ins.sub) not in _FAULTING_BIN:
-            return True
-        return False
-
-    # removing instructions shifts pcs: rebuild with a target remap
-    keep = [not removable(ins) for ins in code]
-    if all(keep):
-        return
-    new_pc = {}
-    count = 0
-    for pc, k in enumerate(keep):
-        new_pc[pc] = count
-        if k:
-            count += 1
-    new_pc[len(code)] = count
-
-    new_code: List[Instr] = []
-    for pc, ins in enumerate(code):
-        if not keep[pc]:
-            stats.dead_removed += 1
-            continue
-        if ins.op == Op.JMP:
-            ins.a = new_pc[ins.a]
-        elif ins.op == Op.BR:
-            ins.b = new_pc[ins.b]
-            ins.c = new_pc[ins.c]
-        new_code.append(ins)
-    fn.code = new_code
-
-
 def optimize_program(program: Program) -> OptimizeStats:
-    """Optimize every function in place; verifies the result."""
+    """Optimize every function of ``program`` in place.
+
+    ``verify_program`` runs after each pass application, so an invalid
+    rewrite is caught immediately with the offending pass on the stack.
+    """
     stats = OptimizeStats()
-    for fn in program.functions.values():
-        optimize_function(fn, stats)
-    verify_program(program)
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for pass_fn in _PASSES:
+            for fn in program.functions.values():
+                changed = pass_fn(fn, stats) or changed
+            verify_program(program)
+        stats.rounds += 1
+        if not changed:
+            break
     return stats

@@ -60,6 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run the interpreter's trace-recording "
                           "superblock JIT (default on; JRPM_TRACE_JIT "
                           "overrides when neither flag is given)")
+    run.add_argument("--optimize", action="store_true",
+                     help="run the LVN/LICM/DCE pass pipeline on the "
+                          "bytecode before annotation")
 
     fleet = sub.add_parser(
         "fleet", help="run the pipeline over many workloads")
@@ -94,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="trace-recording superblock JIT in every "
                             "worker (default on; JRPM_TRACE_JIT "
                             "overrides when neither flag is given)")
+    fleet.add_argument("--optimize", action="store_true",
+                       help="run the LVN/LICM/DCE pass pipeline in "
+                            "every worker before annotation")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived analysis service")
@@ -252,7 +258,8 @@ def _run_fleet_command(args) -> int:
                        cache=cache, on_error="row", level=level,
                        timeout=args.timeout, retries=args.retries,
                        simulate_tls=not args.no_tls,
-                       trace_jit=args.trace_jit)
+                       trace_jit=args.trace_jit,
+                       optimize=args.optimize)
     elapsed = time.perf_counter() - start
 
     if args.json:
@@ -534,7 +541,8 @@ def main(argv=None) -> int:
     level = AnnotationLevel.BASE if args.base \
         else AnnotationLevel.OPTIMIZED
     jrpm = Jrpm(source=source, name=name, level=level,
-                extended=args.extended, trace_jit=args.trace_jit)
+                extended=args.extended, trace_jit=args.trace_jit,
+                optimize=args.optimize)
     report = jrpm.run(simulate_tls=not args.no_tls)
     if args.json:
         from repro.jrpm.report import report_json
@@ -553,6 +561,10 @@ def main(argv=None) -> int:
         from repro.jrpm.report import render_trace_jit
         print()
         print(render_trace_jit(report))
+    if args.optimize:
+        from repro.jrpm.report import render_optimize_stats
+        print()
+        print(render_optimize_stats(report))
     if args.extended:
         print()
         for sel in report.selection.selected[:3]:

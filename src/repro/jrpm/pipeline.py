@@ -70,6 +70,8 @@ class JrpmReport:
         self.candidates: Optional[CandidateTable] = None
         self.annotated: Optional[AnnotatedProgram] = None
         self.device: Optional[TestDevice] = None
+        #: per-pass optimizer counters (dict; None when optimize=off)
+        self.optimize_stats: Optional[Dict[str, int]] = None
         self.sequential: Optional[RunResult] = None
         self.profiled: Optional[RunResult] = None
         self.slowdown: Optional[SlowdownBreakdown] = None
@@ -174,22 +176,28 @@ class Jrpm:
         hook(STAGE_COMPILE)
         ckey = hit = art = None
         if cache is not None:
-            ckey = cache_key(STAGE_COMPILE, self._source, self.optimize)
+            # "c2": the artifact grew an optimize_stats member when the
+            # pass pipeline landed — older 2-tuple blobs must not alias
+            ckey = cache_key(STAGE_COMPILE, self._source, self.optimize,
+                             "c2")
             hit, art = cache.fetch(STAGE_COMPILE, ckey)
         if hit:
-            program, candidates = art
+            program, candidates, opt_stats = art
         else:
             program = self._program if self._program is not None \
                 else compile_source(self._source)
+            opt_stats = None
             if self.optimize:
                 from repro.jit.optimize import optimize_program
                 program = program.copy()
-                optimize_program(program)
+                opt_stats = optimize_program(program).to_dict()
             candidates = find_candidates(program)
             if cache is not None:
-                cache.store(STAGE_COMPILE, ckey, (program, candidates))
+                cache.store(STAGE_COMPILE, ckey,
+                            (program, candidates, opt_stats))
         report.program = program
         report.candidates = candidates
+        report.optimize_stats = opt_stats
 
         # stage 1b: annotate.  The artifact is stored before the
         # profiled run, which patches converged READSTATS sites in the

@@ -103,6 +103,20 @@ def render_trace_jit(report: JrpmReport) -> str:
     return "\n".join(lines)
 
 
+def render_optimize_stats(report: JrpmReport) -> str:
+    """Optimizer observability block: per-pass rewrite counters."""
+    stats = getattr(report, "optimize_stats", None)
+    if not stats:
+        return "(optimizer was not run)"
+    lines = ["optimizer (%d rounds, %d rewrites)"
+             % (stats.get("rounds", 0), stats.get("total", 0))]
+    for key in sorted(stats):
+        if key in ("rounds", "total") or not stats[key]:
+            continue
+        lines.append("  %-20s %d" % (key, stats[key]))
+    return "\n".join(lines)
+
+
 def render_characteristics_row(report: JrpmReport) -> str:
     """This program's row of Table 6 (TEST analysis columns)."""
     table = report.candidates
@@ -138,7 +152,8 @@ def render_characteristics_row(report: JrpmReport) -> str:
 # ---------------------------------------------------------------------------
 
 #: bump when the JSON layout changes shape; consumers pin against it
-REPORT_SCHEMA_VERSION = 2
+#: (v3: nullable ``optimize_stats`` per-pass counter block)
+REPORT_SCHEMA_VERSION = 3
 
 #: required top-level keys and their accepted types.  ``float`` accepts
 #: ints too (JSON has one number type); ``None`` marks nullable fields.
@@ -156,6 +171,7 @@ REPORT_SCHEMA: Dict[str, tuple] = {
     "predicted_vs_actual": (dict, type(None)),
     "engine": (dict, type(None)),
     "trace_jit": (dict, type(None)),
+    "optimize_stats": (dict, type(None)),
 }
 
 #: required keys of every row in ``selection["selected"]``
@@ -222,6 +238,9 @@ def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
         "predicted_vs_actual": None,
         "engine": None,
         "trace_jit": None,
+        # getattr: reports unpickled from pre-v3 cache blobs predate
+        # the attribute
+        "optimize_stats": getattr(report, "optimize_stats", None),
     }
     # per-run trace-JIT counters (getattr: results unpickled from old
     # cache blobs predate the attribute); all counts are deterministic,

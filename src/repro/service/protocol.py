@@ -9,6 +9,8 @@ One request shape::
                                          #   the timing simulation
      "level":    "optimized" | "base",   # optional annotation level
      "extended": false,                  # optional per-PC profiling
+     "optimize": false,                  # optional: run the LVN/LICM/
+                                         #   DCE pass pipeline first
      "fresh":    false}                  # optional: bypass the result
                                          #   cache (recompute)
 
@@ -42,7 +44,7 @@ VALID_STAGES = ("profile", "tls")
 
 #: top-level request keys the parser accepts
 _REQUEST_KEYS = ("workload", "config", "stages", "level", "extended",
-                 "fresh")
+                 "optimize", "fresh")
 
 #: HydraConfig constructor parameters, introspected once — the set of
 #: legal "config" override fields
@@ -68,6 +70,7 @@ class AnalyzeRequest:
                  simulate_tls: bool = True,
                  level: AnnotationLevel = AnnotationLevel.OPTIMIZED,
                  extended: bool = False,
+                 optimize: bool = False,
                  fresh: bool = False):
         self.workload = workload
         self.config = config
@@ -76,6 +79,7 @@ class AnalyzeRequest:
         self.simulate_tls = simulate_tls
         self.level = level
         self.extended = extended
+        self.optimize = optimize
         #: bypass the scheduler's result cache (still coalesces with
         #: concurrent identical requests and fills the cache)
         self.fresh = fresh
@@ -83,14 +87,16 @@ class AnalyzeRequest:
         #: the same computation
         self.key = cache_key(
             "analyze", workload.name, self.config_overrides,
-            simulate_tls, level, extended)
+            simulate_tls, level, extended, optimize)
 
     @property
     def profile_key(self) -> Tuple:
         """Execution-profile equality: requests sharing it can run in
-        one fleet submission (same config, stages, level, extended)."""
+        one fleet submission (same config, stages, level, extended,
+        optimize)."""
         return (tuple(self.config_overrides.items()),
-                self.simulate_tls, self.level, self.extended)
+                self.simulate_tls, self.level, self.extended,
+                self.optimize)
 
     def describe(self) -> Dict[str, Any]:
         """Echo block for responses and logs."""
@@ -101,6 +107,7 @@ class AnalyzeRequest:
                        else ["profile"]),
             "level": self.level.value,
             "extended": self.extended,
+            "optimize": self.optimize,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -194,6 +201,7 @@ def parse_analyze_request(body: bytes) -> AnalyzeRequest:
         workload=workload, config=config, config_overrides=overrides,
         simulate_tls=simulate_tls, level=level,
         extended=_parse_flag(data, "extended"),
+        optimize=_parse_flag(data, "optimize"),
         fresh=_parse_flag(data, "fresh"))
 
 

@@ -316,7 +316,8 @@ class RequestScheduler:
             simulate_tls=first.simulate_tls,
             level=first.level,
             extended=first.extended,
-            trace_jit=self.trace_jit)
+            trace_jit=self.trace_jit,
+            optimize=first.optimize)
         elapsed = time.monotonic() - started
         self.metrics.merge_cache(
             diff_stats(self.cache.snapshot(), before))
@@ -325,6 +326,7 @@ class RequestScheduler:
         for request, row in zip(requests, result.rows):
             if row.ok:
                 self._merge_trace_jit(row.report)
+                self._merge_optimize(row.report)
                 outcomes.append({
                     "status": "ok",
                     "workload": row.name,
@@ -359,6 +361,15 @@ class RequestScheduler:
             inc("trace_jit_invocations", jit["invocations"])
             inc("trace_jit_iterations", jit["iterations"])
             inc("trace_jit_guard_failures", jit["guard_failures"])
+
+    def _merge_optimize(self, report) -> None:
+        """Fold one report's optimizer pass counters into the service
+        metrics (surfaced on /metrics as ``optimize_*``)."""
+        stats = getattr(report, "optimize_stats", None)
+        if not stats:
+            return
+        for key, value in stats.items():
+            self.metrics.inc("optimize_%s" % key, value)
 
     # -- shutdown --------------------------------------------------------
 

@@ -84,17 +84,35 @@ class TestTransformations:
         with pytest.raises(ExecutionError):
             run_program(clone)
 
-    def test_named_locals_never_removed(self):
+    def test_dead_named_locals_removed(self):
+        # liveness-driven global DCE (unlike the old temp-only sweep)
+        # proves the named local dead and drops its definition
         source = """
         func main() {
-          var kept = 123;
+          var dead = 123;
           return 5;
         }
         """
+        program, clone, stats = optimized(source)
+        assert not any(i.op == Op.CONST and i.imm == 123
+                       for i in clone.main.code)
+        assert stats.dead_removed >= 1
+        from repro.runtime import run_program
+        assert run_program(clone).return_value == 5
+
+    def test_live_named_locals_kept(self):
+        source = """
+        func main() {
+          var kept = 123;
+          print(kept);
+          return kept;
+        }
+        """
         program, clone, _ = optimized(source)
-        # the named local's definition survives (it is not a temp)
-        assert any(i.op == Op.CONST and i.imm == 123
-                   for i in clone.main.code)
+        from repro.runtime import run_program
+        res = run_program(clone)
+        assert res.return_value == 123
+        assert res.printed == run_program(program).printed
 
     def test_branch_targets_remapped(self):
         source = """

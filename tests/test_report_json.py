@@ -99,8 +99,8 @@ def test_serialization_is_deterministic():
 
 class TestSchemaStability:
     def test_schema_version_is_pinned(self):
-        # v2: added the nullable "trace_jit" block
-        assert REPORT_SCHEMA_VERSION == 2
+        # v3: added the nullable "optimize_stats" block
+        assert REPORT_SCHEMA_VERSION == 3
 
     def test_top_level_keys_are_frozen(self):
         # adding or removing a key is a schema-version bump, not a drift
@@ -109,7 +109,24 @@ class TestSchemaStability:
             "profiled_cycles", "profiling_slowdown", "loops_profiled",
             "coverage", "predicted_speedup", "actual_speedup",
             "selection", "predicted_vs_actual", "engine", "trace_jit",
+            "optimize_stats",
         }
+
+    def test_optimize_stats_block_is_nullable(self):
+        # optimizer off: null; on: the per-pass counter dict
+        plain = report_to_dict(_report("BitOps"))
+        assert plain["optimize_stats"] is None
+        validate_report_dict(plain)
+        w = get_workload("BitOps")
+        report = Jrpm(source=w.source(), name=w.name,
+                      optimize=True).run(simulate_tls=False)
+        data = report_to_dict(report)
+        stats = data["optimize_stats"]
+        assert isinstance(stats, dict)
+        assert stats["rounds"] >= 1
+        assert stats["total"] == sum(
+            v for k, v in stats.items() if k not in ("rounds", "total"))
+        validate_report_dict(data)
 
     def test_selection_row_keys_are_frozen(self):
         assert set(SELECTION_ROW_SCHEMA) == {

@@ -566,7 +566,7 @@ class TestBackpressure:
                 "selection": {"total_cycles": 1, "serial_cycles": 1,
                               "selected": []},
                 "predicted_vs_actual": None, "engine": None,
-                "trace_jit": None}
+                "trace_jit": None, "optimize_stats": None}
 
     def test_sheds_with_429_and_retry_after(self):
         release = threading.Event()
