@@ -13,6 +13,15 @@ multi-threaded HTTP client, recording into ``BENCH_service.json``:
 * ``concurrent`` — many clients issuing duplicate requests at once:
   coalescing collapses them onto single computations (server metrics
   counters are recorded as evidence);
+* ``load_curve`` — a shed-rate-vs-offered-load sweep against a
+  dedicated daemon with an injected fixed-cost runner and a small
+  bounded queue, so the curve measures the backpressure mechanics
+  (p50/p90/p99 of accepted requests, 429 shed rate) rather than
+  pipeline speed; the full run offers hundreds of concurrent
+  connections at the top step;
+* ``sharded`` — the same cold/warm replay through a 2-shard
+  :class:`~repro.service.router.ShardedFrontend`, recording per-shard
+  routing counts and warm result-LRU hit rates;
 * the server's final ``/metrics`` snapshot.
 
 Standalone::
@@ -36,6 +45,9 @@ import threading
 import time
 from typing import Any, Dict, List, Tuple
 
+from repro.jrpm.report import REPORT_SCHEMA_VERSION
+from repro.service.router import ShardedFrontend
+from repro.service.scheduler import RequestScheduler
 from repro.service.server import AnalysisService
 
 #: request mix: (workload, body) pairs; configs vary so the cold phase
@@ -134,6 +146,162 @@ def _drive(host: str, port: int, mix: List[Tuple[str, Dict]],
     }
 
 
+#: offered-concurrency steps for the shed-rate curve; the full sweep
+#: tops out at hundreds of concurrent connections
+LOAD_STEPS_FULL = [8, 32, 64, 128, 256]
+LOAD_STEPS_QUICK = [4, 16, 32]
+
+#: fixed per-request cost of the injected load-curve runner
+LOAD_RUNNER_COST_S = 0.01
+
+
+def _fake_report(name: str) -> Dict[str, Any]:
+    """Minimal dict satisfying REPORT_SCHEMA, for the injected
+    load-curve runner (the handler validates every 200 response)."""
+    return {"schema_version": REPORT_SCHEMA_VERSION, "name": name,
+            "sequential_cycles": 1, "profiled_cycles": 1,
+            "profiling_slowdown": 1.0, "loops_profiled": 0,
+            "coverage": 0.0, "predicted_speedup": 1.0,
+            "actual_speedup": None,
+            "selection": {"total_cycles": 1, "serial_cycles": 1,
+                          "selected": []},
+            "predicted_vs_actual": None, "engine": None,
+            "trace_jit": None, "optimize_stats": None}
+
+
+def _load_body(i: int) -> Dict[str, Any]:
+    """The i-th load-curve request: keys vary so the sweep saturates
+    the queue instead of collapsing onto one coalesced computation."""
+    names = ["BitOps", "Huffman", "IDEA", "NumHeapSort", "monteCarlo"]
+    return {"workload": names[i % len(names)],
+            "config": {"n_cpus": 2 + (i % 8)},
+            "extended": bool((i // 8) % 2),
+            "fresh": True}
+
+
+def _offer(host: str, port: int, offered: int,
+           per_client: int) -> Dict[str, Any]:
+    """``offered`` concurrent keep-alive connections, each issuing
+    ``per_client`` requests back to back; accepted (200) latencies and
+    shed (429) counts feed one point of the load curve."""
+    ok_latencies: List[float] = []
+    statuses: List[int] = []
+    lock = threading.Lock()
+
+    def worker(base: int) -> None:
+        client = Client(host, port)
+        try:
+            for j in range(per_client):
+                body = _load_body(base * per_client + j)
+                t0 = time.perf_counter()
+                status, _ = client.request("POST", "/analyze", body)
+                dt = time.perf_counter() - t0
+                with lock:
+                    statuses.append(status)
+                    if status == 200:
+                        ok_latencies.append(dt)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(base,))
+               for base in range(offered)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    completed = statuses.count(200)
+    shed = statuses.count(429)
+    return {
+        "offered_connections": offered,
+        "requests": len(statuses),
+        "completed": completed,
+        "shed": shed,
+        "shed_rate": round(shed / len(statuses), 4) if statuses else 0.0,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(completed / elapsed, 2) if elapsed else 0,
+        "latency": _percentiles(ok_latencies),
+        "statuses": {str(s): statuses.count(s) for s in set(statuses)},
+    }
+
+
+def run_load_curve(quick: bool = False) -> Dict[str, Any]:
+    """Shed-rate-vs-offered-load sweep against a dedicated daemon.
+
+    The runner is injected with a fixed ~10ms cost and batching is
+    off, so capacity is a known constant (~100 accepted rps) and the
+    curve isolates the bounded queue's behaviour: low offered load
+    rides under ``queue_depth`` and sheds nothing, while each larger
+    step sheds a growing fraction as 429 + Retry-After."""
+    queue_depth = 16
+
+    def runner(requests):
+        time.sleep(LOAD_RUNNER_COST_S)
+        return [{"status": "ok", "workload": r.workload.name,
+                 "report": _fake_report(r.workload.name), "attempts": 1}
+                for r in requests]
+
+    scheduler = RequestScheduler(runner=runner, jobs=1, max_batch=1,
+                                 queue_depth=queue_depth,
+                                 result_cache_size=0)
+    service = AnalysisService(port=0, scheduler=scheduler).start()
+    steps = LOAD_STEPS_QUICK if quick else LOAD_STEPS_FULL
+    per_client = 4 if quick else 8
+    curve = []
+    try:
+        for offered in steps:
+            curve.append(_offer(service.host, service.port, offered,
+                                per_client))
+    finally:
+        service.stop()
+    return {
+        "queue_depth": queue_depth,
+        "runner_cost_s": LOAD_RUNNER_COST_S,
+        "per_client_requests": per_client,
+        "curve": curve,
+    }
+
+
+def run_sharded_phase(quick: bool = False) -> Dict[str, Any]:
+    """Cold/warm replay through a 2-shard frontend: consistent
+    hashing pins each key to one shard, so the warm pass hits that
+    shard's result LRU and the per-shard hit rates stay high."""
+    mix = QUICK_MIX if quick else FULL_MIX
+    frontend = ShardedFrontend(port=0, shards=2, replicas=2).start()
+    try:
+        cold = _drive(frontend.host, frontend.port, mix,
+                      clients=2 if quick else 4)
+        warm = _drive(frontend.host, frontend.port, mix,
+                      clients=2 if quick else 4)
+        snapshot = frontend.metrics_snapshot()
+    finally:
+        frontend.stop()
+    shards = {}
+    for shard_id, snap in snapshot["shards"].items():
+        counters = snap.get("counters", {})
+        served = snap.get("requests", {}).get("analyze_200", 0)
+        hits = counters.get("result_cache_hits", 0)
+        shards[shard_id] = {
+            "analyze_200": served,
+            "analyze_completed": counters.get("analyze_completed", 0),
+            "result_cache_hits": hits,
+            "warm_hit_rate": round(hits / served, 4) if served else None,
+        }
+    return {
+        "shards": 2,
+        "replicas": 2,
+        "cold": cold,
+        "warm": warm,
+        "per_shard": shards,
+        "frontend_routing": {
+            name: value
+            for name, value in snapshot["frontend"]["counters"].items()
+            if name.startswith("routed_shard_")},
+        "aggregate_counters": snapshot["aggregate"]["counters"],
+    }
+
+
 def run_benchmark(quick: bool = False) -> Dict[str, Any]:
     mix = QUICK_MIX if quick else FULL_MIX
     duplicates = 8 if quick else 32
@@ -161,6 +329,13 @@ def run_benchmark(quick: bool = False) -> Dict[str, Any]:
     finally:
         service.stop()
 
+    # phase 4: shed-rate-vs-offered-load curve (dedicated daemon with
+    # an injected fixed-cost runner; see run_load_curve)
+    load_curve = run_load_curve(quick=quick)
+
+    # phase 5: the same cold/warm replay through a 2-shard frontend
+    sharded = run_sharded_phase(quick=quick)
+
     warm_speedup = (cold["latency"]["mean"] / warm["latency"]["mean"]
                     if warm["latency"]["mean"] else 0.0)
     return {
@@ -172,6 +347,8 @@ def run_benchmark(quick: bool = False) -> Dict[str, Any]:
         "cold": cold,
         "warm": warm,
         "concurrent_duplicates": concurrent,
+        "load_curve": load_curve,
+        "sharded": sharded,
         "speedup": {
             "warm_vs_cold_mean": round(warm_speedup, 2),
             "warm_vs_cold_p50": round(
@@ -184,7 +361,11 @@ def run_benchmark(quick: bool = False) -> Dict[str, Any]:
             "warm replays the identical mix against the live daemon "
             "(result-cache lookups). concurrent_duplicates uses "
             "fresh=true so fan-in exercises request coalescing, not "
-            "the result cache."),
+            "the result cache. load_curve sweeps offered concurrency "
+            "against a fixed-capacity daemon (injected ~10ms runner, "
+            "queue_depth=16) to chart the 429 shed rate. sharded "
+            "replays the mix through a 2-shard consistent-hash "
+            "frontend and records per-shard warm hit rates."),
     }
 
 
@@ -205,6 +386,26 @@ def test_service_bench_quick(capsys):
     assert results["speedup"]["warm_vs_cold_mean"] >= 5.0
     # fan-in of identical fresh requests collapsed onto few computations
     assert results["concurrent_duplicates"]["coalesced"] > 0
+
+    # the backpressure curve: the lightest step rides under the queue
+    # and sheds nothing; the heaviest saturates it and sheds
+    curve = results["load_curve"]["curve"]
+    assert [point["offered_connections"] for point in curve] \
+        == LOAD_STEPS_QUICK
+    assert all(point["completed"] > 0 for point in curve)
+    assert curve[0]["shed_rate"] == 0.0
+    assert curve[-1]["shed"] > 0
+    assert curve[0]["shed_rate"] <= curve[-1]["shed_rate"]
+
+    # the sharded replay: every request lands (no 5xx), and the warm
+    # pass resolves from the shards' result LRUs
+    sharded = results["sharded"]
+    assert sharded["cold"]["statuses"] == {"200": len(QUICK_MIX)}
+    assert sharded["warm"]["statuses"] == {"200": len(QUICK_MIX)}
+    assert sharded["aggregate_counters"].get("result_cache_hits", 0) \
+        >= len(QUICK_MIX)
+    assert sum(sharded["frontend_routing"].values()) \
+        == 2 * len(QUICK_MIX)
 
 
 def main(argv: List[str]) -> int:

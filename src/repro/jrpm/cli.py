@@ -10,6 +10,7 @@ Usage::
     jrpm fleet                    # Table 6 over every workload
     jrpm fleet --jobs 4 --cache-dir .jrpm-cache --workloads IDEA,euler
     jrpm serve --port 8731        # long-lived analysis daemon
+    jrpm serve --shards 4 --replicas 2   # sharded serving tier
     jrpm cache stats --cache-dir .jrpm-cache
     jrpm cache verify --cache-dir .jrpm-cache   # fsck the blobs
     jrpm cache purge --cache-dir .jrpm-cache
@@ -108,6 +109,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8731, metavar="N",
                        help="listen port; 0 picks an ephemeral port "
                             "(default 8731)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="shard processes behind a consistent-hash "
+                            "routing frontend; each shard keeps its "
+                            "own warm caches on a stable key range "
+                            "(default 1 = the single in-process "
+                            "daemon)")
+    serve.add_argument("--replicas", type=int, default=2, metavar="K",
+                       help="replica shards per key: the primary "
+                            "serves, the others are peeked on a "
+                            "result-cache miss and tried on failover "
+                            "(default 2; capped at --shards)")
     serve.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="resident worker processes (default 1 = "
                             "in-process execution)")
@@ -134,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retries", type=int, default=0, metavar="N",
                        help="retry failed/crashed/timed-out workloads "
                             "up to N times (default 0)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=1 << 20, metavar="N",
+                       help="largest accepted request body; bigger "
+                            "Content-Lengths get 413 instead of an "
+                            "allocation (default 1 MiB)")
     serve.add_argument("--metrics-dump", metavar="PATH",
                        help="write the final metrics snapshot to PATH "
                             "on shutdown")
@@ -298,6 +315,11 @@ def _run_serve_command(args) -> int:
     from repro.jrpm.cache import ArtifactCache
     from repro.service.server import AnalysisService
 
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1, got %d" % args.shards)
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1, got %d"
+                         % args.replicas)
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1, got %d" % args.jobs)
     if args.queue_depth < 1:
@@ -308,6 +330,13 @@ def _run_serve_command(args) -> int:
                          % args.timeout)
     if args.retries < 0:
         raise SystemExit("--retries must be >= 0, got %d" % args.retries)
+    if args.max_body_bytes < 1:
+        raise SystemExit("--max-body-bytes must be >= 1, got %d"
+                         % args.max_body_bytes)
+
+    if args.shards > 1:
+        return _serve_sharded(args)
+
     cache = None
     if args.cache_dir:
         cache = ArtifactCache(directory=args.cache_dir)
@@ -321,6 +350,7 @@ def _run_serve_command(args) -> int:
         max_batch=args.max_batch,
         result_cache_size=args.result_cache,
         timeout=args.timeout, retries=args.retries,
+        max_body_bytes=args.max_body_bytes,
         metrics_dump=args.metrics_dump, verbose=args.verbose,
         trace_jit=args.trace_jit)
     service.install_signal_handlers()
@@ -338,6 +368,48 @@ def _run_serve_command(args) -> int:
              snapshot["counters"].get("coalesced", 0),
              snapshot["counters"].get("result_cache_hits", 0),
              snapshot["counters"].get("load_shed", 0)), flush=True)
+    return 0
+
+
+def _serve_sharded(args) -> int:
+    from repro.service.router import ShardedFrontend
+
+    frontend = ShardedFrontend(
+        host=args.host, port=args.port,
+        shards=args.shards, replicas=args.replicas,
+        max_body_bytes=args.max_body_bytes,
+        metrics_dump=args.metrics_dump, verbose=args.verbose,
+        shard_options={
+            "jobs": args.jobs,
+            "queue_depth": args.queue_depth,
+            "max_batch": args.max_batch,
+            "result_cache": args.result_cache,
+            "cache_dir": args.cache_dir,
+            "timeout": args.timeout,
+            "retries": args.retries,
+            "max_body_bytes": args.max_body_bytes,
+            "trace_jit": args.trace_jit,
+            "verbose": args.verbose,
+        })
+    frontend.install_signal_handlers()
+    frontend.start()
+    print("jrpm-serve listening on http://%s:%d "
+          "(shards=%d, replicas=%d, jobs=%d/shard, queue-depth=%d, "
+          "cache=%s)"
+          % (frontend.host, frontend.port, args.shards,
+             frontend.replica_count, args.jobs, args.queue_depth,
+             args.cache_dir or "memory"), flush=True)
+    frontend.serve_until_signal()
+    snapshot = frontend._final_snapshot or frontend.metrics_snapshot()
+    counters = snapshot.get("aggregate", {}).get("counters", {})
+    print("jrpm-serve drained and stopped after %.1fs: "
+          "%d analyses, %d coalesced, %d cached, %d peeked, %d shed"
+          % (snapshot.get("frontend", {}).get("uptime_s", 0.0),
+             counters.get("analyze_completed", 0),
+             counters.get("coalesced", 0),
+             counters.get("result_cache_hits", 0),
+             counters.get("peek_hits", 0),
+             counters.get("load_shed", 0)), flush=True)
     return 0
 
 

@@ -14,12 +14,17 @@ Entry points: ``jrpm serve`` on the command line, or
 :class:`AnalysisService` embedded in-process (tests, benches).
 """
 
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    aggregate_snapshots,
+)
 from repro.service.protocol import (
     AnalyzeRequest,
     ProtocolError,
     parse_analyze_request,
 )
+from repro.service.router import HashRing, ShardedFrontend
 from repro.service.scheduler import (
     QueueFullError,
     RequestScheduler,
@@ -27,16 +32,21 @@ from repro.service.scheduler import (
     Ticket,
 )
 from repro.service.server import AnalysisService
+from repro.service.shard import ShardProcess
 
 __all__ = [
     "AnalysisService",
     "AnalyzeRequest",
+    "HashRing",
     "LatencyHistogram",
     "ProtocolError",
     "QueueFullError",
     "RequestScheduler",
     "SchedulerClosedError",
     "ServiceMetrics",
+    "ShardProcess",
+    "ShardedFrontend",
     "Ticket",
+    "aggregate_snapshots",
     "parse_analyze_request",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: log-spaced latency bucket upper bounds, in seconds (the last,
 #: implicit bucket is +Inf) — spans a cache hit (~1 ms) to a cold
@@ -247,3 +247,49 @@ class ServiceMetrics:
                 lines.append('jrpm_fleet_faults_total{kind="%s"} %d'
                              % (kind, self.faults[kind]))
         return "\n".join(lines) + "\n"
+
+
+def aggregate_snapshots(snapshots: Iterable[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Cluster-wide sums over per-shard :meth:`ServiceMetrics.to_dict`
+    snapshots: counters, request counts, cache stages, and faults are
+    additive; latency keeps only the mergeable moments (count, sum,
+    mean) — bucket-less snapshot percentiles cannot be combined, so
+    per-shard percentiles live in the per-shard blocks."""
+    counters: Dict[str, int] = {}
+    requests: Dict[str, int] = {}
+    cache: Dict[str, Dict[str, int]] = {}
+    faults = {"retries": 0, "timeouts": 0, "crashes": 0}
+    latency: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("requests", {}).items():
+            requests[name] = requests.get(name, 0) + value
+        for stage, counts in snap.get("cache", {}).items():
+            slot = cache.setdefault(
+                stage, {"hits": 0, "misses": 0, "corrupt": 0})
+            for field in ("hits", "misses", "corrupt"):
+                slot[field] += counts.get(field, 0)
+        for field in faults:
+            faults[field] += snap.get("faults", {}).get(field, 0)
+        for endpoint, hist in snap.get("latency", {}).items():
+            slot = latency.setdefault(endpoint,
+                                      {"count": 0, "sum": 0.0})
+            slot["count"] += hist.get("count", 0)
+            slot["sum"] += hist.get("sum", 0.0)
+    for slot in latency.values():
+        slot["sum"] = round(slot["sum"], 6)
+        slot["mean"] = round(slot["sum"] / slot["count"], 6) \
+            if slot["count"] else 0.0
+    cache_hits = sum(c["hits"] for c in cache.values())
+    lookups = cache_hits + sum(c["misses"] for c in cache.values())
+    return {
+        "counters": dict(sorted(counters.items())),
+        "requests": dict(sorted(requests.items())),
+        "cache": {stage: counts for stage, counts
+                  in sorted(cache.items())},
+        "cache_hit_rate": cache_hits / lookups if lookups else 0.0,
+        "latency": dict(sorted(latency.items())),
+        "faults": faults,
+    }

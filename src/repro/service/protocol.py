@@ -42,6 +42,29 @@ from repro.workloads.registry import Workload, get_workload, workload_names
 #: profile + select) always runs, "tls" adds the timing simulation
 VALID_STAGES = ("profile", "tls")
 
+#: header the sharded frontend sets on a routed ``POST /analyze``:
+#: comma-separated ``host:port`` of the key's other replicas, which
+#: the owning shard may peek (``GET /peek/<key>``) before computing
+PEERS_HEADER = "X-Jrpm-Peers"
+
+#: response header the frontend adds naming the shard that served the
+#: request (the body stays byte-identical to a single-shard daemon)
+SHARD_HEADER = "X-Jrpm-Shard"
+
+
+def peek_path(key: str) -> str:
+    """The shard-to-shard result-LRU peek endpoint for ``key``."""
+    return "/peek/" + key
+
+
+def parse_peek_path(path: str) -> Optional[str]:
+    """The key of a ``GET /peek/<key>`` path, or None if ``path`` is
+    not a peek request."""
+    if not path.startswith("/peek/"):
+        return None
+    key = path[len("/peek/"):]
+    return key or None
+
 #: top-level request keys the parser accepts
 _REQUEST_KEYS = ("workload", "config", "stages", "level", "extended",
                  "optimize", "fresh")

@@ -77,7 +77,7 @@ class _Entry:
     """One in-flight computation and everyone waiting on it."""
 
     __slots__ = ("key", "request", "event", "outcome", "coalesced",
-                 "enqueued_at")
+                 "enqueued_at", "waiters")
 
     def __init__(self, request: AnalyzeRequest):
         self.key = request.key
@@ -89,6 +89,12 @@ class _Entry:
         #: how many later submits attached to this computation
         self.coalesced = 0
         self.enqueued_at = time.monotonic()
+        #: handlers still waiting on the outcome; the submitter plus
+        #: one per coalesced attachment.  A 504'd handler abandons its
+        #: claim; when every claim is abandoned the computation is an
+        #: orphan — it still runs to completion (the pool can't cancel
+        #: it), but nobody will read the result
+        self.waiters = 1
 
 
 class Ticket:
@@ -101,9 +107,11 @@ class Ticket:
 
     def __init__(self, entry: Optional[_Entry] = None,
                  outcome: Optional[Dict[str, Any]] = None,
-                 cached: bool = False, coalesced: bool = False):
+                 cached: bool = False, coalesced: bool = False,
+                 scheduler: Optional["RequestScheduler"] = None):
         self._entry = entry
         self._outcome = outcome
+        self._scheduler = scheduler
         self.cached = cached
         self.coalesced = coalesced
 
@@ -115,6 +123,14 @@ class Ticket:
         if not self._entry.event.wait(timeout):
             return None
         return self._entry.outcome
+
+    def abandon(self) -> None:
+        """Release this waiter's claim on the computation (the handler
+        timed out and already answered 504; nobody will read the
+        outcome through this ticket)."""
+        if self._entry is None or self._scheduler is None:
+            return
+        self._scheduler._abandon(self._entry)
 
 
 class RequestScheduler:
@@ -189,8 +205,10 @@ class RequestScheduler:
             entry = self._inflight.get(request.key)
             if entry is not None:
                 entry.coalesced += 1
+                entry.waiters += 1
                 metrics.inc("coalesced")
-                return Ticket(entry=entry, coalesced=True)
+                return Ticket(entry=entry, coalesced=True,
+                              scheduler=self)
             if not request.fresh:
                 outcome = self._results.get(request.key)
                 if outcome is not None:
@@ -206,7 +224,36 @@ class RequestScheduler:
             self._queue.append(entry)
             metrics.set_gauge("queue_depth", len(self._queue))
             self._cond.notify()
-        return Ticket(entry=entry)
+        return Ticket(entry=entry, scheduler=self)
+
+    def _abandon(self, entry: _Entry) -> None:
+        with self._cond:
+            entry.waiters -= 1
+            if entry.waiters <= 0:
+                self.metrics.inc("requests_abandoned")
+
+    # -- result-LRU peeking (cross-replica warm handoff) -----------------
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome for a raw content-addressed ``key``, or
+        None — no queueing, no coalescing; the shard-to-shard
+        ``GET /peek/<key>`` path and the pre-submit local check."""
+        with self._cond:
+            outcome = self._results.get(key)
+            if outcome is not None:
+                self._results.move_to_end(key)
+            return outcome
+
+    def install_result(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Adopt a completed outcome fetched from a replica's result
+        LRU, so the local cache warms without recomputing."""
+        if outcome.get("status") != "ok" or self.result_cache_size <= 0:
+            return
+        with self._cond:
+            self._results[key] = outcome
+            self._results.move_to_end(key)
+            while len(self._results) > self.result_cache_size:
+                self._results.popitem(last=False)
 
     def _retry_after_estimate(self) -> float:
         """Seconds until the queue has plausibly drained: queued work
@@ -283,8 +330,17 @@ class RequestScheduler:
             for entry, outcome in zip(batch, outcomes):
                 entry.outcome = outcome
                 self._inflight.pop(entry.key, None)
+                abandoned = entry.waiters <= 0
+                if abandoned:
+                    self.metrics.inc("abandoned_results")
+                # an abandoned fresh=true computation must not smuggle
+                # its result into the cache: the client asked for a
+                # recompute-and-bypass, nobody received the answer,
+                # and a later non-fresh request would otherwise see a
+                # result no response ever carried
                 if outcome.get("status") == "ok" \
-                        and self.result_cache_size > 0:
+                        and self.result_cache_size > 0 \
+                        and not (abandoned and entry.request.fresh):
                     self._results[entry.key] = outcome
                     self._results.move_to_end(entry.key)
                     while len(self._results) > self.result_cache_size:

@@ -28,7 +28,9 @@ behind.
 
 from __future__ import annotations
 
+import http.client
 import json
+import math
 import signal
 import threading
 import time
@@ -44,9 +46,12 @@ from repro.jrpm.report import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    PEERS_HEADER,
     ProtocolError,
     error_body,
     parse_analyze_request,
+    parse_peek_path,
+    peek_path,
 )
 from repro.service.scheduler import (
     QueueFullError,
@@ -58,9 +63,34 @@ from repro.service.scheduler import (
 #: generous — admission control, not this, is the overload defense
 DEFAULT_REQUEST_TIMEOUT = 600.0
 
+#: default bound on a request body; a hostile Content-Length must not
+#: turn into an arbitrary allocation (413 instead)
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes to the owning :class:`AnalysisService`."""
+#: how long a shard waits on a replica's /peek before computing
+#: itself; peeking is an optimization and must stay cheap
+PEEK_TIMEOUT = 2.0
+
+
+class _BadBody(Exception):
+    """A request body the handler refuses to read.
+
+    After a 413/400 the unread body bytes are still on the wire, so
+    the connection cannot be kept alive — the handler must close it.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class JsonHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for the daemon's JSON-over-HTTP handlers (the
+    single-service :class:`_Handler` and the sharded frontend's):
+    canonical JSON responses, bounded keep-alive-safe body reads, and
+    quiet logging.  Subclasses route; ``self.server.service`` is the
+    owning service object (anything with ``metrics``, ``verbose`` and
+    ``max_body_bytes``)."""
 
     server_version = "jrpm-serve/1"
     protocol_version = "HTTP/1.1"
@@ -68,7 +98,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing --------------------------------------------------------
 
     @property
-    def service(self) -> "AnalysisService":
+    def service(self):
         return self.server.service
 
     def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
@@ -93,6 +123,22 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to salvage
 
+    def _read_body(self) -> bytes:
+        raw = self.headers.get("Content-Length", 0)
+        try:
+            length = int(raw)
+        except ValueError:
+            raise _BadBody(400, "malformed Content-Length: %r" % raw)
+        if length > self.service.max_body_bytes:
+            raise _BadBody(
+                413, "request body of %d bytes exceeds the %d-byte "
+                     "limit" % (length, self.service.max_body_bytes))
+        return self.rfile.read(length) if length > 0 else b""
+
+
+class _Handler(JsonHandler):
+    """Routes to the owning :class:`AnalysisService`."""
+
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib name
@@ -114,6 +160,16 @@ class _Handler(BaseHTTPRequestHandler):
             from repro.workloads.registry import workload_names
             status = 200
             self._send_json(200, {"workloads": workload_names()})
+        elif parse_peek_path(path) is not None:
+            endpoint = "peek"
+            outcome = service.scheduler.peek(parse_peek_path(path))
+            if outcome is None:
+                status = 404
+                self._send_json(404, error_body("no cached result"))
+            else:
+                status = 200
+                service.metrics.inc("peek_served")
+                self._send_json(200, {"outcome": outcome})
         else:
             endpoint, status = "other", 404
             self._send_json(404, error_body("no such endpoint: %s"
@@ -122,24 +178,35 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint, status, time.monotonic() - started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        started = time.monotonic()
         path = urlparse(self.path).path
+        service = self.service
+        endpoint = "analyze" if path == "/analyze" else "other"
+        # the body must be consumed (or the connection condemned)
+        # before any response: on an HTTP/1.1 keep-alive connection
+        # unread body bytes would be parsed as the next request line
+        try:
+            body = self._read_body()
+        except _BadBody as exc:
+            # the unread body is still on the wire: advertise and
+            # perform a close (send_header('Connection','close') also
+            # flips close_connection)
+            self._send_json(exc.status, error_body(str(exc)),
+                            headers={"Connection": "close"})
+            service.metrics.observe_request(
+                endpoint, exc.status, time.monotonic() - started)
+            return
         if path != "/analyze":
             self._send_json(404, error_body("no such endpoint: %s"
                                             % path))
+            service.metrics.observe_request(
+                "other", 404, time.monotonic() - started)
             return
-        started = time.monotonic()
-        status, payload, headers = self.service.handle_analyze(
-            self._read_body())
+        status, payload, headers = service.handle_analyze(
+            body, peers=self.headers.get(PEERS_HEADER))
         self._send_json(status, payload, headers=headers)
-        self.service.metrics.observe_request(
+        service.metrics.observe_request(
             "analyze", status, time.monotonic() - started)
-
-    def _read_body(self) -> bytes:
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError:
-            return b""
-        return self.rfile.read(length) if length > 0 else b""
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -166,6 +233,7 @@ class AnalysisService:
                  metrics: Optional[ServiceMetrics] = None,
                  cache: Optional[ArtifactCache] = None,
                  request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
                  verbose: bool = False,
                  metrics_dump: Optional[str] = None,
                  **scheduler_kwargs):
@@ -178,6 +246,7 @@ class AnalysisService:
             self.scheduler = RequestScheduler(
                 cache=cache, metrics=self.metrics, **scheduler_kwargs)
         self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
         self.verbose = verbose
         #: path for the shutdown metrics flush (None: no dump)
         self.metrics_dump = metrics_dump
@@ -196,24 +265,25 @@ class AnalysisService:
 
     # -- request handling -------------------------------------------------
 
-    def handle_analyze(self, body: bytes
+    def handle_analyze(self, body: bytes, peers: Optional[str] = None
                        ) -> Tuple[int, Dict[str, Any],
                                   Optional[Dict[str, str]]]:
         """Full /analyze logic; returns (status, payload, headers).
 
         Kept off the handler class so tests can drive it without a
-        socket.
+        socket.  ``peers`` is the sharded frontend's comma-separated
+        replica list (see :data:`~repro.service.protocol.PEERS_HEADER`).
         """
         with self._active_cond:
             self._active += 1
         try:
-            return self._handle_analyze(body)
+            return self._handle_analyze(body, peers)
         finally:
             with self._active_cond:
                 self._active -= 1
                 self._active_cond.notify_all()
 
-    def _handle_analyze(self, body: bytes
+    def _handle_analyze(self, body: bytes, peers: Optional[str] = None
                         ) -> Tuple[int, Dict[str, Any],
                                    Optional[Dict[str, str]]]:
         if self.draining:
@@ -222,18 +292,28 @@ class AnalysisService:
             request = parse_analyze_request(body)
         except ProtocolError as exc:
             return exc.status, error_body(str(exc)), None
+        if peers and not request.fresh \
+                and self.scheduler.peek(request.key) is None:
+            self._peek_replicas(request.key, peers)
         try:
             ticket = self.scheduler.submit(request)
         except QueueFullError as exc:
+            # header and JSON body must agree: both carry the same
+            # ceil'd estimate ("%d" alone would truncate 1.5 -> 1)
+            retry_after = max(1, math.ceil(exc.retry_after))
             return (429,
-                    error_body(str(exc),
-                               retry_after=round(exc.retry_after, 1)),
-                    {"Retry-After": "%d" % max(1, exc.retry_after)})
+                    error_body(str(exc), retry_after=retry_after),
+                    {"Retry-After": "%d" % retry_after})
         except SchedulerClosedError:
             return 503, error_body("service is draining"), None
         waited = time.monotonic()
         outcome = ticket.wait(timeout=self.request_timeout)
         if outcome is None:
+            # the computation keeps running (the pool can't cancel
+            # it); release this waiter's claim so the scheduler knows
+            # the eventual result is an orphan
+            ticket.abandon()
+            self.metrics.inc("request_timeouts")
             return (504,
                     error_body("request timed out after %.0fs in the "
                                "service" % self.request_timeout),
@@ -266,6 +346,38 @@ class AnalysisService:
                 {"request": request.describe(), "key": request.key,
                  "report": report, "meta": meta},
                 None)
+
+    def _peek_replicas(self, key: str, peers: str) -> bool:
+        """Ask the key's replica shards for a cached result before
+        computing; installs a hit into the local result LRU.
+
+        The warm-handoff path after a ring change: a shard newly made
+        primary for ``key`` peeks its successor (usually the old
+        primary), so adding a shard doesn't cold-start the remapped
+        key range.
+        """
+        for addr in peers.split(","):
+            host, _, port = addr.strip().rpartition(":")
+            if not host or not port.isdigit():
+                continue
+            conn = http.client.HTTPConnection(
+                host, int(port), timeout=PEEK_TIMEOUT)
+            try:
+                conn.request("GET", peek_path(key))
+                resp = conn.getresponse()
+                data = resp.read()
+                if resp.status == 200:
+                    outcome = json.loads(data)["outcome"]
+                    self.scheduler.install_result(key, outcome)
+                    self.metrics.inc("peek_hits")
+                    return True
+            except (OSError, ValueError, KeyError,
+                    http.client.HTTPException):
+                continue  # peeking is best-effort; compute locally
+            finally:
+                conn.close()
+        self.metrics.inc("peek_misses")
+        return False
 
     def health(self) -> Tuple[int, Dict[str, Any]]:
         payload = {

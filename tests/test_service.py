@@ -38,6 +38,20 @@ def _body(**kwargs) -> bytes:
     return json.dumps(kwargs).encode()
 
 
+def _fake_report(name):
+    """Minimal dict satisfying REPORT_SCHEMA (the HTTP handler
+    validates every 200 response against it)."""
+    return {"schema_version": REPORT_SCHEMA_VERSION, "name": name,
+            "sequential_cycles": 1, "profiled_cycles": 1,
+            "profiling_slowdown": 1.0, "loops_profiled": 0,
+            "coverage": 0.0, "predicted_speedup": 1.0,
+            "actual_speedup": None,
+            "selection": {"total_cycles": 1, "serial_cycles": 1,
+                          "selected": []},
+            "predicted_vs_actual": None, "engine": None,
+            "trace_jit": None, "optimize_stats": None}
+
+
 def _request(port: int, method: str, path: str, body=None,
              headers=None, host: str = "127.0.0.1"):
     """One HTTP exchange; returns (status, parsed_json, headers)."""
@@ -554,27 +568,13 @@ class TestBackpressure:
     """429 + Retry-After beyond the queue bound, deterministic via an
     injected runner (no timing races on real pipelines)."""
 
-    @staticmethod
-    def _fake_report(name):
-        """Minimal dict satisfying REPORT_SCHEMA (the HTTP handler
-        validates every 200 response against it)."""
-        return {"schema_version": REPORT_SCHEMA_VERSION, "name": name,
-                "sequential_cycles": 1, "profiled_cycles": 1,
-                "profiling_slowdown": 1.0, "loops_profiled": 0,
-                "coverage": 0.0, "predicted_speedup": 1.0,
-                "actual_speedup": None,
-                "selection": {"total_cycles": 1, "serial_cycles": 1,
-                              "selected": []},
-                "predicted_vs_actual": None, "engine": None,
-                "trace_jit": None, "optimize_stats": None}
-
     def test_sheds_with_429_and_retry_after(self):
         release = threading.Event()
 
         def runner(requests):
             release.wait(timeout=60)
             return [{"status": "ok", "workload": r.workload.name,
-                     "report": self._fake_report(r.workload.name),
+                     "report": _fake_report(r.workload.name),
                      "attempts": 1} for r in requests]
 
         # max_batch=1 so the dispatcher takes exactly one request at a
@@ -625,6 +625,226 @@ class TestBackpressure:
         assert status == 503
         assert "draining" in payload["error"]
         assert svc.health()[0] == 503
+
+
+# ---------------------------------------------------------------------------
+# HTTP-layer bugfix regressions (keep-alive drain, body cap, 504
+# abandonment, Retry-After rounding) — each fails on the pre-fix code
+# ---------------------------------------------------------------------------
+
+def _blocked_runner_scheduler(release, **kwargs):
+    """A scheduler whose runner blocks until ``release`` is set, then
+    answers with schema-valid fake reports."""
+
+    def runner(requests):
+        release.wait(timeout=60)
+        return [{"status": "ok", "workload": r.workload.name,
+                 "report": _fake_report(r.workload.name),
+                 "attempts": 1} for r in requests]
+
+    return RequestScheduler(runner=runner, **kwargs)
+
+
+class TestKeepAliveDrain:
+    def test_404_post_with_body_keeps_connection_usable(self, service):
+        """A POST to an unknown path must drain its body before the
+        404: on a keep-alive connection unread body bytes would be
+        parsed as the next request line (desync)."""
+        before = service.metrics.to_dict()["requests"].get(
+            "other_404", 0)
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=30)
+        try:
+            junk = json.dumps({"junk": "x" * 256}).encode()
+            conn.request("POST", "/zzz", body=junk)
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            # same connection: with the body undrained these bytes
+            # would land mid-stream and the exchange would not parse
+            conn.request("POST", "/analyze",
+                         body=json.dumps({"workload": "zzz"}).encode())
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 400
+            assert "unknown workload" in payload["error"]
+        finally:
+            conn.close()
+        # the early-return path records its request metric too
+        after = service.metrics.to_dict()["requests"].get(
+            "other_404", 0)
+        assert after == before + 1
+
+    def test_malformed_content_length_400_and_close(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/analyze")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert "Content-Length" in json.loads(resp.read())["error"]
+            # the unread wire state is unknowable: must not keep alive
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+
+class TestBodyCap:
+    def test_oversized_content_length_413_without_reading(self, service):
+        """A hostile Content-Length must answer 413 immediately, not
+        allocate: no body is sent at all, so a pre-fix server would
+        block inside rfile.read()."""
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/analyze")
+            conn.putheader("Content-Length", str(1 << 30))
+            conn.endheaders()
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 413
+            assert "exceeds" in payload["error"]
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+        snap = service.metrics.to_dict()
+        assert snap["requests"].get("analyze_413", 0) >= 1
+
+    def test_cap_is_configurable(self):
+        release = threading.Event()
+        release.set()
+        sched = _blocked_runner_scheduler(release)
+        svc = AnalysisService(port=0, scheduler=sched,
+                              max_body_bytes=64).start()
+        try:
+            status, payload, _ = _request(
+                svc.port, "POST", "/analyze",
+                body={"workload": "x" * 128})
+            assert status == 413
+            # an in-bounds body still parses on a fresh connection
+            status, payload, _ = _request(
+                svc.port, "POST", "/analyze", body={"workload": "zz"})
+            assert status == 400
+        finally:
+            svc.stop()
+
+
+class TestTimeoutAbandonment:
+    def test_504_counts_and_fresh_result_is_not_cached(self):
+        release = threading.Event()
+        sched = _blocked_runner_scheduler(release)
+        svc = AnalysisService(port=0, scheduler=sched,
+                              request_timeout=0.2).start()
+        try:
+            request = parse_analyze_request(
+                _body(workload="BitOps", fresh=True))
+            status, payload, _ = svc.handle_analyze(
+                _body(workload="BitOps", fresh=True))
+            assert status == 504
+            assert "timed out" in payload["error"]
+            assert svc.metrics.counter("request_timeouts") == 1
+            assert svc.metrics.counter("requests_abandoned") == 1
+            # the orphaned computation still completes...
+            release.set()
+            deadline = time.monotonic() + 10
+            while sched.in_flight and time.monotonic() < deadline:
+                time.sleep(0.005)
+            deadline = time.monotonic() + 10
+            while svc.metrics.counter("abandoned_results") < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            # ...is accounted on /metrics...
+            snap = svc.metrics.to_dict()
+            assert snap["counters"]["abandoned_results"] == 1
+            assert "jrpm_abandoned_results_total 1" \
+                in svc.metrics.render_prometheus()
+            # ...but must NOT repopulate the result cache: the client
+            # asked fresh=true and nobody received this result
+            assert sched.peek(request.key) is None
+        finally:
+            release.set()
+            svc.stop()
+
+    def test_non_fresh_abandoned_result_still_caches(self):
+        release = threading.Event()
+        sched = _blocked_runner_scheduler(release)
+        svc = AnalysisService(port=0, scheduler=sched,
+                              request_timeout=0.2).start()
+        try:
+            request = parse_analyze_request(_body(workload="BitOps"))
+            status, _, _ = svc.handle_analyze(_body(workload="BitOps"))
+            assert status == 504
+            release.set()
+            deadline = time.monotonic() + 10
+            while sched.peek(request.key) is None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            # a cacheable (non-fresh) result is kept: the next repeat
+            # legitimately serves it from the LRU
+            assert sched.peek(request.key) is not None
+        finally:
+            release.set()
+            svc.stop()
+
+    def test_surviving_coalesced_waiter_keeps_entry_live(self):
+        """One waiter timing out must not mark the computation
+        abandoned while a coalesced twin still waits."""
+        release = threading.Event()
+        sched = _blocked_runner_scheduler(release)
+        svc = AnalysisService(port=0, scheduler=sched,
+                              request_timeout=0.3).start()
+        try:
+            patient = {}
+
+            def waiter():
+                ticket = sched.submit(parse_analyze_request(
+                    _body(workload="BitOps", fresh=True)))
+                patient["outcome"] = ticket.wait(timeout=30)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            deadline = time.monotonic() + 10
+            while not sched.in_flight \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            # this handler coalesces onto the same entry, then 504s
+            status, _, _ = svc.handle_analyze(
+                _body(workload="BitOps", fresh=True))
+            assert status == 504
+            release.set()
+            thread.join(timeout=30)
+            assert patient["outcome"]["status"] == "ok"
+            # the patient waiter was served: not an abandoned entry
+            assert svc.metrics.counter("requests_abandoned") == 0
+            assert svc.metrics.counter("abandoned_results") == 0
+        finally:
+            release.set()
+            svc.stop()
+
+
+class TestRetryAfterRounding:
+    def test_header_and_body_agree_and_round_up(self, monkeypatch):
+        release = threading.Event()
+        release.set()
+        sched = _blocked_runner_scheduler(release)
+        svc = AnalysisService(port=0, scheduler=sched).start()
+        try:
+            for estimate, expected in ((1.5, 2), (0.9, 1), (3.0, 3)):
+                def fail(request, _estimate=estimate):
+                    raise QueueFullError(3, _estimate)
+
+                monkeypatch.setattr(sched, "submit", fail)
+                status, payload, headers = svc.handle_analyze(
+                    _body(workload="BitOps"))
+                assert status == 429
+                # ceil, consistently: a 1.5s estimate must not tell
+                # the client to come back in 1s
+                assert headers["Retry-After"] == str(expected)
+                assert payload["retry_after"] == expected
+        finally:
+            svc.stop()
 
 
 # ---------------------------------------------------------------------------
