@@ -166,7 +166,8 @@ def _fake_report(name: str) -> Dict[str, Any]:
             "selection": {"total_cycles": 1, "serial_cycles": 1,
                           "selected": []},
             "predicted_vs_actual": None, "engine": None,
-            "trace_jit": None, "optimize_stats": None}
+            "trace_jit": None, "optimize_stats": None,
+            "models": None}
 
 
 def _load_body(i: int) -> Dict[str, Any]:

@@ -1,5 +1,5 @@
 """Differential conformance layer: estimator-vs-simulator oracle,
-four-path fuzz campaigns with delta-debugging shrinking, and the golden
+six-path fuzz campaigns with delta-debugging shrinking, and the golden
 corpus gate (DESIGN.md §9).
 
 Three entry points, all reachable through ``jrpm conform``:
@@ -9,7 +9,7 @@ Three entry points, all reachable through ``jrpm conform``:
   simulator, with per-STL and per-workload prediction error and the
   paper's same-winner shape claim asserted;
 * :func:`~repro.conformance.campaign.run_campaign` — seeded fuzz
-  programs executed along four paths (fast interpreter, traced
+  programs executed along six paths (fast interpreter, traced
   dispatch, annotated, optimized) under runtime invariants, failures
   minimized by :func:`~repro.conformance.shrinker.shrink_source` and
   saved as repros;
@@ -38,6 +38,8 @@ from repro.conformance.goldens import (
 )
 from repro.conformance.oracle import (
     DEFAULT_ERROR_BOUND,
+    MODEL_ERROR_BOUNDS,
+    WORKLOAD_ERROR_BOUNDS,
     OracleReport,
     WorkloadConformance,
     run_oracle,
@@ -51,6 +53,8 @@ __all__ = [
     "ConformanceViolation",
     "DEFAULT_ERROR_BOUND",
     "GOLDENS_VERSION",
+    "MODEL_ERROR_BOUNDS",
+    "WORKLOAD_ERROR_BOUNDS",
     "OracleReport",
     "WorkloadConformance",
     "check_monotonic",

@@ -1,4 +1,4 @@
-"""Seeded fuzz campaigns over the four-path differential checker.
+"""Seeded fuzz campaigns over the six-path differential checker.
 
 A campaign generates ``count`` programs from consecutive seeds, runs
 each through :func:`~repro.conformance.invariants.check_source` (fanned

@@ -1,6 +1,6 @@
-"""Five-path differential execution plus runtime-invariant checks.
+"""Six-path differential execution plus runtime-invariant checks.
 
-One generated (or hand-written) program is executed along five paths:
+One generated (or hand-written) program is executed along six paths:
 
 1. **fast** — the plain interpreter with no listener attached, which
    takes the memoized dispatch fast path (trace JIT forced off: this
@@ -14,7 +14,13 @@ One generated (or hand-written) program is executed along five paths:
    hotness threshold, in all three configurations (fast, no-op
    listener, annotated+device), asserting *exact* cycle, instruction,
    return-value, heap, print, and event-count agreement with the
-   matching JIT-off path.
+   matching JIT-off path;
+6. **DOACROSS** — every selected STL re-simulated under the post/wait
+   execution model from the same trace the TLS simulator consumed,
+   asserting the shared timing invariants, exact sequential-cycle
+   agreement with the TLS path (both walk the same recording), and
+   the predictor's books balancing (hits <= predictions, violations
+   == misses).
 
 All paths must agree on the return value; paths 1/2 must agree on exact
 cycle and instruction counts (any drift is a dispatch-table bug).  On
@@ -42,6 +48,7 @@ from repro.jit.annotate import AnnotationLevel, annotate_program
 from repro.jit.optimize import optimize_program
 from repro.jit.speculative import compile_stl
 from repro.lang.codegen import compile_source
+from repro.models.doacross import simulate_doacross
 from repro.runtime.events import (
     ColumnarRecording,
     MulticastListener,
@@ -74,6 +81,7 @@ KIND_TLS_INVARIANT = "tls-invariant"
 KIND_TLS_BOUNDS = "tls-bounds"
 KIND_BUFFER_LIMIT = "buffer-limit"
 KIND_TRACE_JIT = "trace-jit-divergence"
+KIND_DOACROSS = "doacross-invariant"
 KIND_CRASH = "crash"
 
 #: hotness threshold for the fifth path: aggressive enough that the
@@ -94,7 +102,7 @@ class ConformanceViolation(ReproError):
 
 
 class CheckOutcome:
-    """Summary of one program's clean pass through all four paths."""
+    """Summary of one program's clean pass through all six paths."""
 
     def __init__(self, name: str):
         self.name = name
@@ -106,6 +114,8 @@ class CheckOutcome:
         self.n_loops = 0
         self.selected_ids: List[int] = []
         self.tls_simulated = 0
+        #: STLs re-simulated under the sixth (DOACROSS) path
+        self.doacross_simulated = 0
         #: superblocks linked across the fifth path's three runs
         self.jit_traces = 0
 
@@ -133,7 +143,7 @@ def check_source(source: str, seed: Optional[int] = None,
                  name: str = "fuzz",
                  config: HydraConfig = DEFAULT_HYDRA,
                  max_instructions: int = 5_000_000) -> CheckOutcome:
-    """Run ``source`` down all four paths and every runtime invariant.
+    """Run ``source`` down all six paths and every runtime invariant.
 
     Returns a :class:`CheckOutcome` on success; raises
     :class:`ConformanceViolation` on the first failed check.  Compile
@@ -326,6 +336,30 @@ def check_source(source: str, seed: Optional[int] = None,
                            "loop %d overflow at rel %d outside thread "
                            "of %d cycles" % (sel.loop_id, ov,
                                              thread.size), seed)
+        # path 6: the same trace under the DOACROSS post/wait model
+        doa = simulate_doacross(comp, engine.split(sel.loop_id),
+                                config, engine=engine)
+        outcome.doacross_simulated += 1
+        errs = doa.invariant_errors(config)
+        if errs:
+            _raise(KIND_DOACROSS,
+                   "loop %d: %s" % (sel.loop_id, "; ".join(errs)), seed)
+        if doa.sequential_cycles != tls.sequential_cycles:
+            _raise(KIND_DOACROSS,
+                   "loop %d DOACROSS sequential %d != TLS sequential "
+                   "%d (both models walk the same trace)"
+                   % (sel.loop_id, doa.sequential_cycles,
+                      tls.sequential_cycles), seed)
+        if doa.predicted_hits > doa.predictions:
+            _raise(KIND_DOACROSS,
+                   "loop %d predictor books broken: %d hits of %d "
+                   "predictions" % (sel.loop_id, doa.predicted_hits,
+                                    doa.predictions), seed)
+        if doa.violations != doa.predictions - doa.predicted_hits:
+            _raise(KIND_DOACROSS,
+                   "loop %d violations %d != mispredictions %d"
+                   % (sel.loop_id, doa.violations,
+                      doa.predictions - doa.predicted_hits), seed)
     if tls_results:
         program_outcome = ProgramTLSOutcome(selection, tls_results)
         if not (0.0 < program_outcome.actual_speedup

@@ -6,7 +6,9 @@ Usage::
     jrpm run huffman              # full pipeline on one workload
     jrpm run huffman --json       # machine-readable report
     jrpm run huffman --extended   # with per-PC dependency profiling
+    jrpm run huffman --models     # per-loop execution-model argmax
     jrpm run path/to/file.mj      # any minijava source file
+    jrpm models                   # list the registered execution models
     jrpm fleet                    # Table 6 over every workload
     jrpm fleet --jobs 4 --cache-dir .jrpm-cache --workloads IDEA,euler
     jrpm serve --port 8731        # long-lived analysis daemon
@@ -64,6 +66,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--optimize", action="store_true",
                      help="run the LVN/LICM/DCE pass pipeline on the "
                           "bytecode before annotation")
+    run.add_argument("--models", nargs="?", const="all",
+                     metavar="A,B,...",
+                     help="let each loop pick its execution model by "
+                          "estimate argmax; bare flag compares all "
+                          "registered models (see 'jrpm models'), or "
+                          "give a comma-separated subset")
 
     fleet = sub.add_parser(
         "fleet", help="run the pipeline over many workloads")
@@ -101,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--optimize", action="store_true",
                        help="run the LVN/LICM/DCE pass pipeline in "
                             "every worker before annotation")
+    fleet.add_argument("--models", nargs="?", const="all",
+                       metavar="A,B,...",
+                       help="per-loop execution-model argmax in every "
+                            "worker (bare flag = all registered "
+                            "models)")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived analysis service")
@@ -204,7 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "prediction-error ceiling")
     conform.add_argument("--fuzz", type=int, default=0, metavar="N",
                          help="fuzz N consecutive seeds through the "
-                              "four-path differential checker "
+                              "six-path differential checker "
                               "(default 0 = skip)")
     conform.add_argument("--seed", type=int, default=None, metavar="N",
                          help="base fuzz seed (default: "
@@ -231,8 +244,15 @@ def _build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--json", action="store_true",
                          help="print the machine-readable report to "
                               "stdout")
+    conform.add_argument("--models", nargs="?", const="all",
+                         metavar="A,B,...",
+                         help="run the oracle with per-loop model "
+                              "argmax and gate predicted-vs-actual "
+                              "error per execution model")
 
     sub.add_parser("list", help="list the bundled paper workloads")
+    sub.add_parser("models",
+                   help="list the registered execution models")
     return parser
 
 
@@ -276,7 +296,8 @@ def _run_fleet_command(args) -> int:
                        timeout=args.timeout, retries=args.retries,
                        simulate_tls=not args.no_tls,
                        trace_jit=args.trace_jit,
-                       optimize=args.optimize)
+                       optimize=args.optimize,
+                       models=args.models)
     elapsed = time.perf_counter() - start
 
     if args.json:
@@ -529,8 +550,13 @@ def _run_conform_command(args) -> int:
                 directory=tempfile.mkdtemp(prefix="jrpm-conform-"))
         bound = args.error_bound if args.error_bound is not None \
             else DEFAULT_ERROR_BOUND
+        # an explicit --error-bound is a uniform override: it replaces
+        # the measured per-workload table, not just the fallback
+        workload_bounds = {} if args.error_bound is not None else None
         oracle = run_oracle(workloads=workloads, jobs=args.jobs,
-                            cache=cache, error_bound=bound)
+                            cache=cache, error_bound=bound,
+                            workload_bounds=workload_bounds,
+                            models=args.models)
         document["oracle"] = oracle.to_dict()
         problems.extend(oracle.violations())
         if not args.json:
@@ -597,6 +623,12 @@ def main(argv=None) -> int:
             print("%-16s %-14s %s" % (w.name, w.category, w.description))
         return 0
 
+    if args.command == "models":
+        from repro.models import get_model, model_names
+        for name in model_names():
+            print("%-12s %s" % (name, get_model(name).description))
+        return 0
+
     if args.command == "fleet":
         return _run_fleet_command(args)
 
@@ -614,7 +646,7 @@ def main(argv=None) -> int:
         else AnnotationLevel.OPTIMIZED
     jrpm = Jrpm(source=source, name=name, level=level,
                 extended=args.extended, trace_jit=args.trace_jit,
-                optimize=args.optimize)
+                optimize=args.optimize, models=args.models)
     report = jrpm.run(simulate_tls=not args.no_tls)
     if args.json:
         from repro.jrpm.report import report_json
@@ -623,6 +655,10 @@ def main(argv=None) -> int:
     print(render_summary(report))
     print()
     print(render_selection(report))
+    if args.models:
+        from repro.jrpm.report import render_models
+        print()
+        print(render_models(report))
     if report.outcome is not None:
         print()
         print(render_predicted_vs_actual(report))

@@ -44,6 +44,7 @@ from repro.jrpm.cache import (
 from repro.jrpm.runtime import ProfilingRuntime
 from repro.jrpm.slowdown import AnnotationCounter, SlowdownBreakdown
 from repro.lang.codegen import compile_source
+from repro.models import get_model, resolve_models
 from repro.runtime.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.events import (
     ColumnarRecording,
@@ -85,6 +86,9 @@ class JrpmReport:
         #: the trace engine the TLS replay ran through (None when the
         #: legacy row recording was used or TLS was skipped)
         self.engine: Optional[TraceEngine] = None
+        #: execution-model names that competed for each loop (None =
+        #: legacy hydra-tls-only run)
+        self.models: Optional[tuple] = None
 
     # -- headline numbers -------------------------------------------------
 
@@ -126,7 +130,8 @@ class Jrpm:
                  cache: Optional[ArtifactCache] = None,
                  columnar: bool = True,
                  stage_hook=None,
-                 trace_jit: Optional[bool] = None):
+                 trace_jit: Optional[bool] = None,
+                 models=None):
         if (source is None) == (program is None):
             raise PipelineError(
                 "provide exactly one of source= or program=")
@@ -161,6 +166,10 @@ class Jrpm:
         #: (None consults JRPM_TRACE_JIT, default on); resolved eagerly
         #: so cache keys reflect the effective value, never the env
         self.trace_jit = resolve_trace_jit(trace_jit)
+        #: execution models competing per loop ("all", a name list, or
+        #: None for the legacy hydra-tls-only pipeline); resolved
+        #: eagerly so unknown names fail at construction
+        self.models = resolve_models(models)
 
     # -- stages ------------------------------------------------------------
 
@@ -301,12 +310,14 @@ class Jrpm:
         # consistent)
         report.selection = select_stls(
             device, report.profiled.cycles, self.config,
-            min_speedup=self.min_speedup)
+            min_speedup=self.min_speedup, models=self.models)
+        report.models = self.models
 
-        # stages 4 + 5: speculative recompilation + TLS execution.
-        # Columnar recordings replay through the memoizing TraceEngine
-        # (zero-copy windows, kernels shared across every selected STL
-        # and across config sweeps against the same report).
+        # stages 4 + 5: speculative recompilation + execution under
+        # each loop's winning model.  Columnar recordings replay
+        # through the memoizing TraceEngine (zero-copy windows, kernels
+        # shared across every selected STL and across config sweeps
+        # against the same report).
         if simulate_tls:
             engine = None
             if isinstance(recording, ColumnarRecording):
@@ -318,7 +329,14 @@ class Jrpm:
                     continue
                 comp = compile_stl(cand, self.config)
                 report.compilations[sel.loop_id] = comp
-                if engine is not None:
+                if self.models is not None:
+                    model = get_model(getattr(sel, "model", "hydra-tls"))
+                    entries = engine.split(sel.loop_id) \
+                        if engine is not None \
+                        else split_trace(recording, sel.loop_id)
+                    report.tls_results[sel.loop_id] = model.simulate(
+                        comp, entries, self.config, engine=engine)
+                elif engine is not None:
                     report.tls_results[sel.loop_id] = engine.simulate(
                         comp, self.config)
                 else:

@@ -35,14 +35,16 @@ def render_summary(report: JrpmReport) -> str:
 def render_selection(report: JrpmReport, limit: int = 20) -> str:
     """Per-STL table: the Figure 10 block decomposition in text form."""
     sel = report.selection
-    lines = ["%-6s %12s %9s %10s %10s %9s" % (
-        "loop", "cycles", "cover%", "threads", "size", "est.spdup")]
+    lines = ["%-6s %12s %9s %10s %10s %9s %-10s" % (
+        "loop", "cycles", "cover%", "threads", "size", "est.spdup",
+        "model")]
     for s in sel.selected[:limit]:
         st = s.stats
-        lines.append("L%-5d %12d %8.1f%% %10d %10.1f %8.2fx" % (
+        lines.append("L%-5d %12d %8.1f%% %10d %10.1f %8.2fx %-10s" % (
             s.loop_id, st.cycles,
             100.0 * st.cycles / sel.total_cycles,
-            st.threads, st.avg_thread_size, s.estimate.speedup))
+            st.threads, st.avg_thread_size, s.estimate.speedup,
+            getattr(s, "model", "hydra-tls")))
     lines.append("%-6s %12d %8.1f%%" % (
         "serial", sel.serial_cycles,
         100.0 * sel.serial_cycles / sel.total_cycles
@@ -66,6 +68,32 @@ def render_predicted_vs_actual(report: JrpmReport) -> str:
     for loop_id, cycles, pred, actual, vrate in out.per_stl_rows():
         lines.append("L%-5d %12d %9.2fx %9.2fx %12.3f" % (
             loop_id, cycles, pred, actual, vrate))
+    return "\n".join(lines)
+
+
+def render_models(report: JrpmReport) -> str:
+    """Per-loop execution-model comparison: every competing model's
+    estimate and the argmax winner (``jrpm run --models`` output)."""
+    requested = getattr(report, "models", None)
+    sel = report.selection
+    if not requested:
+        return "(multi-model selection was not run)"
+    names = list(requested)
+    header = "%-6s %-11s %-9s" % ("loop", "winner", "selected")
+    header += "".join(" %11s" % n[:11] for n in names)
+    lines = ["execution models: " + ", ".join(names), header]
+    selected_ids = {s.loop_id for s in sel.selected}
+    for loop_id in sorted(sel.decisions):
+        dec = sel.decisions[loop_id]
+        estimates = getattr(dec, "model_estimates", None) or {}
+        row = "L%-5d %-11s %-9s" % (
+            loop_id, getattr(dec, "model", "hydra-tls"),
+            "yes" if loop_id in selected_ids else "no")
+        for name in names:
+            est = estimates.get(name)
+            row += " %10.2fx" % est.speedup if est is not None \
+                else " %11s" % "-"
+        lines.append(row)
     return "\n".join(lines)
 
 
@@ -152,8 +180,9 @@ def render_characteristics_row(report: JrpmReport) -> str:
 # ---------------------------------------------------------------------------
 
 #: bump when the JSON layout changes shape; consumers pin against it
-#: (v3: nullable ``optimize_stats`` per-pass counter block)
-REPORT_SCHEMA_VERSION = 3
+#: (v4: per-loop execution ``model`` in selection rows plus a nullable
+#: top-level ``models`` block for multi-model runs)
+REPORT_SCHEMA_VERSION = 4
 
 #: required top-level keys and their accepted types.  ``float`` accepts
 #: ints too (JSON has one number type); ``None`` marks nullable fields.
@@ -172,6 +201,7 @@ REPORT_SCHEMA: Dict[str, tuple] = {
     "engine": (dict, type(None)),
     "trace_jit": (dict, type(None)),
     "optimize_stats": (dict, type(None)),
+    "models": (dict, type(None)),
 }
 
 #: required keys of every row in ``selection["selected"]``
@@ -184,6 +214,7 @@ SELECTION_ROW_SCHEMA: Dict[str, tuple] = {
     "avg_iters_per_entry": (float, int),
     "avg_thread_size": (float, int),
     "predicted_speedup": (float, int),
+    "model": (str,),
 }
 
 
@@ -217,6 +248,9 @@ def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
             "avg_iters_per_entry": st.avg_iters_per_entry,
             "avg_thread_size": st.avg_thread_size,
             "predicted_speedup": s.estimate.speedup,
+            # getattr: selections unpickled from pre-v4 cache blobs
+            # predate the attribute
+            "model": getattr(s, "model", "hydra-tls"),
         })
     out: Dict[str, Any] = {
         "schema_version": REPORT_SCHEMA_VERSION,
@@ -241,7 +275,34 @@ def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
         # getattr: reports unpickled from pre-v3 cache blobs predate
         # the attribute
         "optimize_stats": getattr(report, "optimize_stats", None),
+        "models": None,
     }
+    requested = getattr(report, "models", None)
+    if requested:
+        per_loop = []
+        counts: Dict[str, int] = {}
+        selected_ids = {s.loop_id for s in sel.selected}
+        for loop_id in sorted(sel.decisions):
+            dec = sel.decisions[loop_id]
+            winner = getattr(dec, "model", "hydra-tls")
+            estimates = getattr(dec, "model_estimates", None) or {}
+            chosen = loop_id in selected_ids
+            # unselected loops stay sequential regardless of which
+            # speculative model won their estimate comparison
+            effective = winner if chosen else "sequential"
+            counts[effective] = counts.get(effective, 0) + 1
+            per_loop.append({
+                "loop_id": loop_id,
+                "model": winner,
+                "selected": chosen,
+                "estimates": {name: _finite(est.speedup)
+                              for name, est in estimates.items()},
+            })
+        out["models"] = {
+            "requested": list(requested),
+            "selected_counts": counts,
+            "per_loop": per_loop,
+        }
     # per-run trace-JIT counters (getattr: results unpickled from old
     # cache blobs predate the attribute); all counts are deterministic,
     # so CLI and service stay byte-identical
@@ -254,14 +315,17 @@ def report_to_dict(report: JrpmReport) -> Dict[str, Any]:
         }
     if report.outcome is not None:
         rows = []
-        for loop_id, cycles, pred, actual, vrate in \
-                report.outcome.per_stl_rows():
+        # per_stl_rows iterates selection.selected in order, so zip
+        # recovers each row's winning model
+        for (loop_id, cycles, pred, actual, vrate), s in \
+                zip(report.outcome.per_stl_rows(), sel.selected):
             rows.append({
                 "loop_id": loop_id,
                 "cycles": cycles,
                 "predicted_speedup": _finite(pred),
                 "actual_speedup": _finite(actual),
                 "violations_per_thread": _finite(vrate),
+                "model": getattr(s, "model", "hydra-tls"),
             })
         out["predicted_vs_actual"] = {
             "predicted_normalized_time":

@@ -1,0 +1,50 @@
+"""Pluggable execution models for the Jrpm pipeline.
+
+The registry is populated at import time in canonical priority order —
+``sequential``, ``hydra-tls``, ``doacross`` — which is also the
+argmax tie-break order in the selector (earlier wins on equal
+estimates, so the paper's backend keeps a loop when DOACROSS merely
+ties it).
+"""
+
+from repro.models.base import (
+    DEFAULT_MODEL,
+    SpeculationModel,
+    get_model,
+    model_names,
+    register_model,
+    resolve_models,
+)
+from repro.models.doacross import (
+    DoacrossEstimate,
+    DoacrossModel,
+    DoacrossResult,
+    DoacrossSimulator,
+    estimate_doacross,
+    simulate_doacross,
+)
+from repro.models.hydra_tls import HydraTLSModel
+from repro.models.predictor import LiveInPredictor
+from repro.models.sequential import SequentialModel
+
+register_model(SequentialModel())
+register_model(HydraTLSModel())
+register_model(DoacrossModel())
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "SpeculationModel",
+    "get_model",
+    "model_names",
+    "register_model",
+    "resolve_models",
+    "SequentialModel",
+    "HydraTLSModel",
+    "DoacrossModel",
+    "DoacrossEstimate",
+    "DoacrossResult",
+    "DoacrossSimulator",
+    "estimate_doacross",
+    "simulate_doacross",
+    "LiveInPredictor",
+]

@@ -1,0 +1,25 @@
+"""The paper's execution model, wrapped as a pluggable backend.
+
+Delegates to the existing Eq. 1 estimator and the Hydra TLS trace
+simulator unchanged, so a run with models enabled produces exactly the
+numbers a legacy run produces for every loop that picks ``hydra-tls``.
+"""
+
+from repro.hydra.config import DEFAULT_HYDRA
+from repro.tls.simulator import simulate_stl
+from repro.tracer.estimator import estimate_speedup
+
+from repro.models.base import SpeculationModel
+
+
+class HydraTLSModel(SpeculationModel):
+    name = "hydra-tls"
+    description = ("Hydra speculative thread-level speculation "
+                   "(the paper's backend)")
+
+    def estimate(self, stats, config=DEFAULT_HYDRA):
+        return estimate_speedup(stats, config)
+
+    def simulate(self, compilation, entries, config=DEFAULT_HYDRA,
+                 engine=None):
+        return simulate_stl(compilation, entries, config, engine=engine)

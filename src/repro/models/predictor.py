@@ -1,0 +1,104 @@
+"""Last-value/stride predictor for DOACROSS loop live-ins.
+
+Prophet-style value prediction breaks the post/wait serialization of a
+DOACROSS loop: when the consumer iteration can predict the value a
+live-in will take, it starts immediately instead of waiting for the
+producer's post, and only a misprediction pays a restart.
+
+The tracer records timing events, not data values, so we predict the
+deterministic trace-visible proxy for a regular recurrence: the
+*relative cycle at which the producer iteration stores the live-in*.
+An induction-like update (``i += step`` compiled to the same code every
+iteration) stores at a stable per-iteration offset; its store-offset
+sequence is constant or strided, exactly the pattern a last-value/stride
+predictor captures.  An irregular live-in (stored from data-dependent
+paths) jitters the offset and the predictor loses confidence — the same
+loops where real value prediction fails.
+
+Training happens at *produce* time: when iteration ``i`` stores a local
+live-in, :meth:`observe` first grades the prediction that was
+outstanding for that store (made from history strictly before it), then
+folds the new observation in.  Consumers query :meth:`consume`, which
+reports how the most recent store of an address was covered:
+``"hit"`` (confident prediction, correct — no wait), ``"miss"``
+(confident prediction, wrong — restart penalty), or ``None`` (no
+prediction attempted — fall back to post/wait).  Because the producer
+always publishes before its consumers are scheduled, grading at
+produce time is deterministic and causally sound.
+"""
+
+
+class LiveInPredictor:
+    """Per-address last-value/stride table over producer-store offsets."""
+
+    # Consecutive same-stride observations required before the
+    # predictor commits to a prediction for the next store.
+    CONFIDENCE_THRESHOLD = 2
+
+    __slots__ = ("_table", "trains", "predictions", "hits")
+
+    def __init__(self):
+        # addr -> [last_rel, stride, streak, outcome]; outcome is the
+        # coverage of the most recent store: "hit", "miss", or None.
+        self._table = {}
+        self.trains = 0
+        self.predictions = 0
+        self.hits = 0
+
+    @property
+    def mispredictions(self):
+        return self.predictions - self.hits
+
+    @property
+    def hit_rate(self):
+        if self.predictions == 0:
+            return 0.0
+        return self.hits / self.predictions
+
+    def observe(self, addr, rel):
+        """Train on a producer store of *addr* at relative cycle *rel*.
+
+        Grades the outstanding prediction for this store (if the table
+        was confident) before updating the stride history.
+        """
+        self.trains += 1
+        entry = self._table.get(addr)
+        if entry is None:
+            self._table[addr] = [rel, None, 0, None]
+            return
+        last_rel, stride, streak, _ = entry
+        new_stride = rel - last_rel
+        if stride is None:
+            entry[0] = rel
+            entry[1] = new_stride
+            entry[2] = 1
+            entry[3] = None
+            return
+        correct = new_stride == stride
+        if streak >= self.CONFIDENCE_THRESHOLD:
+            self.predictions += 1
+            if correct:
+                self.hits += 1
+                entry[3] = "hit"
+            else:
+                entry[3] = "miss"
+        else:
+            entry[3] = None
+        if correct:
+            entry[0] = rel
+            entry[2] = streak + 1
+        else:
+            entry[0] = rel
+            entry[1] = new_stride
+            entry[2] = 1
+
+    def consume(self, addr):
+        """How the latest store of *addr* was covered.
+
+        Returns ``"hit"``, ``"miss"``, or ``None`` (no prediction was
+        attempted, or the address was never stored).
+        """
+        entry = self._table.get(addr)
+        if entry is None:
+            return None
+        return entry[3]

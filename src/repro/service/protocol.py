@@ -11,6 +11,9 @@ One request shape::
      "extended": false,                  # optional per-PC profiling
      "optimize": false,                  # optional: run the LVN/LICM/
                                          #   DCE pass pipeline first
+     "models":   ["hydra-tls", ...],     # optional: per-loop execution-
+                                         #   model argmax over these
+                                         #   registered models
      "fresh":    false}                  # optional: bypass the result
                                          #   cache (recompute)
 
@@ -65,9 +68,27 @@ def parse_peek_path(path: str) -> Optional[str]:
     key = path[len("/peek/"):]
     return key or None
 
+
+def push_path(key: str) -> str:
+    """The shard-to-shard result-push endpoint for ``key``: after a
+    fresh compute, the owning shard POSTs the outcome here so its
+    replicas' LRUs are warm *before* any failover (peeking only heals
+    on a miss; pushing shrinks the cold window to zero)."""
+    return "/push/" + key
+
+
+def parse_push_path(path: str) -> Optional[str]:
+    """The key of a ``POST /push/<key>`` path, or None if ``path`` is
+    not a push request."""
+    if not path.startswith("/push/"):
+        return None
+    key = path[len("/push/"):]
+    return key or None
+
+
 #: top-level request keys the parser accepts
 _REQUEST_KEYS = ("workload", "config", "stages", "level", "extended",
-                 "optimize", "fresh")
+                 "optimize", "models", "fresh")
 
 #: HydraConfig constructor parameters, introspected once — the set of
 #: legal "config" override fields
@@ -94,6 +115,7 @@ class AnalyzeRequest:
                  level: AnnotationLevel = AnnotationLevel.OPTIMIZED,
                  extended: bool = False,
                  optimize: bool = False,
+                 models: Optional[Tuple[str, ...]] = None,
                  fresh: bool = False):
         self.workload = workload
         self.config = config
@@ -103,6 +125,8 @@ class AnalyzeRequest:
         self.level = level
         self.extended = extended
         self.optimize = optimize
+        #: execution models competing per loop (None = legacy)
+        self.models = models
         #: bypass the scheduler's result cache (still coalesces with
         #: concurrent identical requests and fills the cache)
         self.fresh = fresh
@@ -110,16 +134,16 @@ class AnalyzeRequest:
         #: the same computation
         self.key = cache_key(
             "analyze", workload.name, self.config_overrides,
-            simulate_tls, level, extended, optimize)
+            simulate_tls, level, extended, optimize, models)
 
     @property
     def profile_key(self) -> Tuple:
         """Execution-profile equality: requests sharing it can run in
         one fleet submission (same config, stages, level, extended,
-        optimize)."""
+        optimize, models)."""
         return (tuple(self.config_overrides.items()),
                 self.simulate_tls, self.level, self.extended,
-                self.optimize)
+                self.optimize, self.models)
 
     def describe(self) -> Dict[str, Any]:
         """Echo block for responses and logs."""
@@ -131,6 +155,7 @@ class AnalyzeRequest:
             "level": self.level.value,
             "extended": self.extended,
             "optimize": self.optimize,
+            "models": list(self.models) if self.models else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -174,6 +199,24 @@ def _parse_stages(raw: Any) -> bool:
             "unknown stage(s) %s; legal stages: %s"
             % (", ".join(map(repr, unknown)), ", ".join(VALID_STAGES)))
     return "tls" in raw
+
+
+def _parse_models(raw: Any) -> Optional[Tuple[str, ...]]:
+    if raw is None:
+        return None
+    if not isinstance(raw, list) \
+            or not all(isinstance(m, str) and m for m in raw):
+        raise ProtocolError(
+            "'models' must be a list of execution-model names")
+    from repro.models import model_names, resolve_models
+    try:
+        return resolve_models(raw)
+    except KeyError:
+        unknown = sorted(set(raw) - set(model_names()))
+        raise ProtocolError(
+            "unknown model(s) %s; registered models: %s"
+            % (", ".join(map(repr, unknown)),
+               ", ".join(model_names())))
 
 
 def _parse_flag(data: Dict[str, Any], key: str) -> bool:
@@ -225,6 +268,7 @@ def parse_analyze_request(body: bytes) -> AnalyzeRequest:
         simulate_tls=simulate_tls, level=level,
         extended=_parse_flag(data, "extended"),
         optimize=_parse_flag(data, "optimize"),
+        models=_parse_models(data.get("models")),
         fresh=_parse_flag(data, "fresh"))
 
 

@@ -373,7 +373,8 @@ class RequestScheduler:
             level=first.level,
             extended=first.extended,
             trace_jit=self.trace_jit,
-            optimize=first.optimize)
+            optimize=first.optimize,
+            models=first.models)
         elapsed = time.monotonic() - started
         self.metrics.merge_cache(
             diff_stats(self.cache.snapshot(), before))
@@ -383,6 +384,7 @@ class RequestScheduler:
             if row.ok:
                 self._merge_trace_jit(row.report)
                 self._merge_optimize(row.report)
+                self._merge_models(row.report)
                 outcomes.append({
                     "status": "ok",
                     "workload": row.name,
@@ -426,6 +428,24 @@ class RequestScheduler:
             return
         for key, value in stats.items():
             self.metrics.inc("optimize_%s" % key, value)
+
+    def _merge_models(self, report) -> None:
+        """Fold one multi-model report's per-loop winners into the
+        service metrics (surfaced on /metrics as ``model_selected_*``
+        and ``model_won_*``): how often each execution model won the
+        argmax, and how often its winner was actually scheduled."""
+        if getattr(report, "models", None) is None:
+            return
+        selection = getattr(report, "selection", None)
+        if selection is None:
+            return
+        chosen = {s.loop_id for s in selection.selected}
+        for loop_id in sorted(selection.decisions):
+            decision = selection.decisions[loop_id]
+            winner = getattr(decision, "model", "hydra-tls")
+            self.metrics.inc("model_won_%s" % winner)
+            if loop_id in chosen:
+                self.metrics.inc("model_selected_%s" % winner)
 
     # -- shutdown --------------------------------------------------------
 

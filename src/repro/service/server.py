@@ -16,6 +16,10 @@ Endpoints
     JSON snapshot).
 ``GET /workloads``
     The bundled workload names (what ``/analyze`` accepts).
+``GET /peek/<key>`` / ``POST /push/<key>``
+    Shard-to-shard result-LRU exchange: a shard peeks its replicas
+    before computing a missing key, and pushes each fresh result to
+    them so a failover target is warm before the primary dies.
 
 Shutdown sequence (SIGTERM/SIGINT or :meth:`AnalysisService.stop`):
 mark draining (healthz flips to 503, new /analyze gets 503) → drain
@@ -51,7 +55,9 @@ from repro.service.protocol import (
     error_body,
     parse_analyze_request,
     parse_peek_path,
+    parse_push_path,
     peek_path,
+    push_path,
 )
 from repro.service.scheduler import (
     QueueFullError,
@@ -196,6 +202,13 @@ class _Handler(JsonHandler):
             service.metrics.observe_request(
                 endpoint, exc.status, time.monotonic() - started)
             return
+        push_key = parse_push_path(path)
+        if push_key is not None:
+            status, payload = service.handle_push(push_key, body)
+            self._send_json(status, payload)
+            service.metrics.observe_request(
+                "push", status, time.monotonic() - started)
+            return
         if path != "/analyze":
             self._send_json(404, error_body("no such endpoint: %s"
                                             % path))
@@ -333,6 +346,12 @@ class AnalysisService:
             return (500,
                     error_body("internal schema violation: %s" % exc),
                     None)
+        if peers and not ticket.cached and not ticket.coalesced:
+            # freshly computed here: push the outcome to the key's
+            # replicas so their LRUs are warm before any failover
+            # (peeking only heals on a miss; pushing closes the
+            # cold window entirely)
+            self._push_replicas(request.key, outcome, peers)
         meta = {
             "cached": ticket.cached,
             "coalesced": ticket.coalesced,
@@ -378,6 +397,58 @@ class AnalysisService:
                 conn.close()
         self.metrics.inc("peek_misses")
         return False
+
+    def _push_replicas(self, key: str, outcome: Dict[str, Any],
+                       peers: str) -> int:
+        """POST a freshly computed outcome to the key's replica shards
+        (``POST /push/<key>``) so their result LRUs warm immediately.
+
+        Best-effort like peeking: a dead or slow replica costs one
+        bounded timeout and a ``replica_push_failures`` tick, never a
+        failed response.  Returns the number of replicas warmed.
+        """
+        body = dumps_canonical({"outcome": outcome}).encode("utf-8")
+        pushed = 0
+        for addr in peers.split(","):
+            host, _, port = addr.strip().rpartition(":")
+            if not host or not port.isdigit():
+                continue
+            conn = http.client.HTTPConnection(
+                host, int(port), timeout=PEEK_TIMEOUT)
+            try:
+                conn.request(
+                    "POST", push_path(key), body=body,
+                    headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                resp.read()
+                if resp.status == 200:
+                    pushed += 1
+                    self.metrics.inc("replica_pushes")
+                else:
+                    self.metrics.inc("replica_push_failures")
+            except (OSError, http.client.HTTPException):
+                self.metrics.inc("replica_push_failures")
+            finally:
+                conn.close()
+        return pushed
+
+    def handle_push(self, key: str, body: bytes
+                    ) -> Tuple[int, Dict[str, Any]]:
+        """Adopt a replica's freshly computed outcome into the local
+        result LRU (the receiving side of :meth:`_push_replicas`)."""
+        try:
+            data = json.loads(body.decode("utf-8"))
+            outcome = data["outcome"]
+        except (ValueError, UnicodeDecodeError, KeyError, TypeError):
+            return 400, error_body(
+                "push body must be JSON {\"outcome\": {...}}")
+        if not isinstance(outcome, dict) \
+                or outcome.get("status") != "ok":
+            return 400, error_body(
+                "push outcome must be a completed ok result")
+        self.scheduler.install_result(key, outcome)
+        self.metrics.inc("replica_push_received")
+        return 200, {"status": "ok", "key": key}
 
     def health(self) -> Tuple[int, Dict[str, Any]]:
         payload = {

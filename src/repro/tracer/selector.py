@@ -27,13 +27,24 @@ from repro.tracer.stats import STLStats
 
 
 class LoopDecision:
-    """Equation 2's verdict for one profiled loop."""
+    """Equation 2's verdict for one profiled loop.
+
+    ``estimate`` is the winning model's estimate and ``model`` its
+    registry name; ``model_estimates`` maps every competing model's
+    name to its estimate when a multi-model selection ran (``None`` in
+    legacy single-backend runs).  Model *names*, not model instances,
+    are stored so decisions stay picklable across the worker pool.
+    """
 
     def __init__(self, loop_id: int, stats: STLStats,
-                 estimate: SpeedupEstimate):
+                 estimate: SpeedupEstimate,
+                 model: str = "hydra-tls",
+                 model_estimates: Optional[Dict[str, object]] = None):
         self.loop_id = loop_id
         self.stats = stats
         self.estimate = estimate
+        self.model = model
+        self.model_estimates = model_estimates
         self.children: List["LoopDecision"] = []
         self.parent_id = -1
         #: best achievable time for this subtree (cycles)
@@ -59,6 +70,8 @@ class SelectedSTL:
         self.loop_id = decision.loop_id
         self.stats = decision.stats
         self.estimate = decision.estimate
+        self.model = getattr(decision, "model", "hydra-tls")
+        self.model_estimates = getattr(decision, "model_estimates", None)
 
     @property
     def sequential_cycles(self) -> int:
@@ -78,13 +91,16 @@ class SelectionResult:
 
     def __init__(self, selected: List[SelectedSTL],
                  decisions: Dict[int, LoopDecision],
-                 total_cycles: int):
+                 total_cycles: int,
+                 models: Optional[tuple] = None):
         #: chosen STLs, by descending sequential coverage
         self.selected = selected
         #: every profiled loop's decision record
         self.decisions = decisions
         #: whole-program sequential cycles
         self.total_cycles = total_cycles
+        #: model names that competed (None = legacy hydra-tls-only run)
+        self.models = models
 
     @property
     def covered_cycles(self) -> int:
@@ -129,21 +145,49 @@ class SelectionResult:
 def select_stls(device: TestDevice, total_cycles: int,
                 config: HydraConfig = DEFAULT_HYDRA,
                 min_speedup: float = 1.05,
-                min_cycles: int = 200) -> SelectionResult:
+                min_cycles: int = 200,
+                models=None) -> SelectionResult:
     """Run Equation 2 over every loop the device profiled.
 
     ``min_speedup`` is the selection threshold: speculating on a loop
     whose predicted gain is below it is not worth the recompilation (the
     decomposition stays sequential).  ``min_cycles`` drops loops with
     negligible measured time.
+
+    ``models`` generalizes Eq. 2 to multiple execution models: pass a
+    spec accepted by :func:`repro.models.resolve_models` and every
+    loop's estimate becomes an argmax over the named models (ties go
+    to registration order), before the nest DP runs unchanged on the
+    per-loop winners.  ``None`` keeps the legacy single-backend
+    behaviour bit-for-bit.
     """
+    model_list = None
+    resolved = None
+    if models is not None:
+        # late import: repro.models imports the estimator/simulator,
+        # so importing it at module level would cycle
+        from repro.models import get_model, resolve_models
+        resolved = resolve_models(models)
+        if resolved:
+            model_list = [(name, get_model(name)) for name in resolved]
+
     decisions: Dict[int, LoopDecision] = {}
     for loop_id, stats in device.stats.items():
         if stats.cycles < min_cycles or stats.threads == 0 \
                 or stats.profiled_threads == 0:
             continue
+        if model_list is None:
+            decisions[loop_id] = LoopDecision(
+                loop_id, stats, estimate_speedup(stats, config))
+            continue
+        estimates = {name: model.estimate(stats, config)
+                     for name, model in model_list}
+        # max() keeps the first maximum, so registration order breaks
+        # ties (dicts preserve insertion order)
+        winner = max(estimates, key=lambda name: estimates[name].speedup)
         decisions[loop_id] = LoopDecision(
-            loop_id, stats, estimate_speedup(stats, config))
+            loop_id, stats, estimates[winner], model=winner,
+            model_estimates=estimates)
 
     # build the dynamic forest (dominant parent, cycles must nest)
     roots: List[LoopDecision] = []
@@ -212,7 +256,8 @@ def select_stls(device: TestDevice, total_cycles: int,
             continue
         kept.append(cand)
         kept_ids.add(lid)
-    return SelectionResult(kept, decisions, total_cycles)
+    return SelectionResult(kept, decisions, total_cycles,
+                           models=resolved)
 
 
 def _ancestor_closure(device: TestDevice, loop_id: int) -> set:

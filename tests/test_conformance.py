@@ -1,4 +1,4 @@
-"""Tests for the differential conformance subsystem: shrinker, four-path
+"""Tests for the differential conformance subsystem: shrinker, six-path
 invariant checker, estimator-vs-simulator oracle, and fuzz campaigns."""
 
 import json

@@ -76,7 +76,9 @@ def test_tls_report_round_trips(name):
         assert key in pva
     for row in pva["rows"]:
         assert set(row) == {"loop_id", "cycles", "predicted_speedup",
-                            "actual_speedup", "violations_per_thread"}
+                            "actual_speedup", "violations_per_thread",
+                            "model"}
+        assert row["model"] == "hydra-tls"
     # engine counters serialize without the nondeterministic wall clock
     if parsed["engine"] is not None:
         for counters in parsed["engine"].values():
@@ -99,8 +101,8 @@ def test_serialization_is_deterministic():
 
 class TestSchemaStability:
     def test_schema_version_is_pinned(self):
-        # v3: added the nullable "optimize_stats" block
-        assert REPORT_SCHEMA_VERSION == 3
+        # v4: per-loop "model" in selection rows + nullable "models"
+        assert REPORT_SCHEMA_VERSION == 4
 
     def test_top_level_keys_are_frozen(self):
         # adding or removing a key is a schema-version bump, not a drift
@@ -109,7 +111,7 @@ class TestSchemaStability:
             "profiled_cycles", "profiling_slowdown", "loops_profiled",
             "coverage", "predicted_speedup", "actual_speedup",
             "selection", "predicted_vs_actual", "engine", "trace_jit",
-            "optimize_stats",
+            "optimize_stats", "models",
         }
 
     def test_optimize_stats_block_is_nullable(self):
@@ -132,8 +134,31 @@ class TestSchemaStability:
         assert set(SELECTION_ROW_SCHEMA) == {
             "loop_id", "cycles", "coverage", "entries", "threads",
             "avg_iters_per_entry", "avg_thread_size",
-            "predicted_speedup",
+            "predicted_speedup", "model",
         }
+
+    def test_models_block_is_nullable(self):
+        # legacy runs: null; multi-model runs: the per-loop argmax block
+        plain = report_to_dict(_report("BitOps"))
+        assert plain["models"] is None
+        validate_report_dict(plain)
+        w = get_workload("BitOps")
+        report = Jrpm(source=w.source(), name=w.name,
+                      models="all").run(simulate_tls=True)
+        data = report_to_dict(report)
+        block = data["models"]
+        assert block["requested"] == ["sequential", "hydra-tls",
+                                      "doacross"]
+        assert block["per_loop"], "BitOps profiles loops"
+        for row in block["per_loop"]:
+            assert set(row) == {"loop_id", "model", "selected",
+                                "estimates"}
+            assert set(row["estimates"]) == set(block["requested"])
+        for row in data["selection"]["selected"]:
+            assert row["model"] in block["requested"]
+        for row in data["predicted_vs_actual"]["rows"]:
+            assert row["model"] in block["requested"]
+        validate_report_dict(data)
 
     def test_validator_rejects_missing_key(self):
         data = report_to_dict(_report("BitOps"))

@@ -49,7 +49,8 @@ def _fake_report(name):
             "selection": {"total_cycles": 1, "serial_cycles": 1,
                           "selected": []},
             "predicted_vs_actual": None, "engine": None,
-            "trace_jit": None, "optimize_stats": None}
+            "trace_jit": None, "optimize_stats": None,
+            "models": None}
 
 
 def _request(port: int, method: str, path: str, body=None,

@@ -250,6 +250,43 @@ class TestShardedFrontend:
 
 
 class TestFrontendFailover:
+    def test_result_push_warms_secondary_before_failover(self):
+        """Satellite to peeking: a fresh compute PUSHES its result to
+        the replica set, so when the primary later dies the secondary
+        serves the key from its own LRU — cached, no recompute, no
+        peek dependence on the (dead) primary."""
+        fe = ShardedFrontend(port=0, shards=2, replicas=2).start()
+        try:
+            body = {"workload": "BitOps", "stages": ["profile"],
+                    "config": {"n_cpus": 5}}
+            request = parse_analyze_request(json.dumps(body).encode())
+            primary, secondary = fe.ring.replicas(request.key, 2)
+            status, first, headers = _request(fe.port, "POST",
+                                              "/analyze", body=body)
+            assert status == 200
+            assert headers["X-Jrpm-Shard"] == primary
+            assert not first["meta"]["cached"]
+            # the fresh compute pushed the outcome to the secondary
+            snap = fe.metrics_snapshot()
+            assert snap["shards"][primary]["counters"][
+                "replica_pushes"] >= 1
+            assert snap["shards"][secondary]["counters"][
+                "replica_push_received"] >= 1
+            # kill the primary: the failover target is already warm
+            fe._procs[int(primary)].request_stop()
+            fe._procs[int(primary)].wait(timeout=30)
+            started = time.perf_counter()
+            status, served, headers = _request(fe.port, "POST",
+                                               "/analyze", body=body)
+            elapsed = time.perf_counter() - started
+            assert status == 200
+            assert headers["X-Jrpm-Shard"] == secondary
+            assert served["meta"]["cached"]
+            assert served["report"] == first["report"]
+            assert elapsed < 2.5  # LRU hit, not a recompute
+        finally:
+            fe.stop()
+
     def test_failover_to_secondary_when_primary_dies(self):
         fe = ShardedFrontend(port=0, shards=2, replicas=2).start()
         try:

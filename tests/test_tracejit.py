@@ -449,6 +449,64 @@ class TestObservability:
         assert on.sequential.cycles == off.sequential.cycles
 
 
+class TestOptimizeJitComposition:
+    """``optimize`` and ``trace_jit`` compose: the flags must neither
+    perturb observable semantics together nor alias each other's
+    cached artifacts."""
+
+    SRC = NESTED_LOOPS
+
+    def _observables(self, result):
+        return (result.return_value, result.heap.snapshot(),
+                result.printed)
+
+    def test_all_four_combinations_agree(self):
+        from repro.jrpm import Jrpm
+        runs = {}
+        for optimize in (False, True):
+            for jit in (False, True):
+                runs[optimize, jit] = Jrpm(
+                    source=self.SRC, optimize=optimize,
+                    trace_jit=jit).run(simulate_tls=False).sequential
+        reference = self._observables(runs[False, False])
+        for combo, result in runs.items():
+            assert self._observables(result) == reference, combo
+        # the JIT is timing-transparent at either optimize setting;
+        # the optimizer is not (that is its job), but never slower
+        for optimize in (False, True):
+            assert runs[optimize, True].cycles \
+                == runs[optimize, False].cycles
+        assert runs[True, False].cycles <= runs[False, False].cycles
+        # both flags really did engage in the combined run
+        assert runs[True, True].jit["traces_linked"] >= 1
+
+    def test_cache_keys_compose_without_aliasing(self):
+        from repro.jrpm import ArtifactCache, Jrpm
+        cache = ArtifactCache()  # memory-only
+        combos = [(False, False), (False, True),
+                  (True, False), (True, True)]
+        for optimize, jit in combos:
+            Jrpm(source=self.SRC, cache=cache, optimize=optimize,
+                 trace_jit=jit).run(simulate_tls=False)
+        # the compile artifact only depends on optimize: two keys,
+        # each hit once by the second run sharing its optimize value
+        assert cache.misses.get("compile") == 2
+        assert cache.hits.get("compile") == 2
+        # the sequential artifact depends on both flags: four distinct
+        # composed keys, no combination served another's blob
+        assert cache.misses.get("sequential") == 4
+        assert not cache.hits.get("sequential")
+        # warm repeat of every combination hits all stages
+        for optimize, jit in combos:
+            rerun = Jrpm(source=self.SRC, cache=cache,
+                         optimize=optimize,
+                         trace_jit=jit).run(simulate_tls=False)
+            assert (getattr(rerun.sequential, "jit", None)
+                    is not None) == jit
+        assert cache.hits.get("sequential") == 4
+        assert cache.misses.get("sequential") == 4
+
+
 class TestFifthPath:
     def test_conformance_fifth_path_runs(self):
         from repro.conformance.invariants import check_source
