@@ -19,7 +19,11 @@ Usage::
     jrpm cache purge --cache-dir .jrpm-cache --corrupt-only
     jrpm conform                  # estimator-vs-simulator oracle gate
     jrpm conform --fuzz 200 --seed 1000 --jobs 2
-    jrpm conform --update-goldens # regenerate tests/goldens.json
+    jrpm conform --synth 3        # synthetic label + error-atlas gate
+    jrpm conform --update-goldens # regenerate tests/goldens*.json
+    jrpm synth --list             # the synthesizer's families
+    jrpm synth --families chase --per-family 5 --seed 7
+    jrpm synth --out /tmp/corpus  # write .mj sources + labels.json
 """
 
 from __future__ import annotations
@@ -249,8 +253,51 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run the oracle with per-loop model "
                               "argmax and gate predicted-vs-actual "
                               "error per execution model")
+    conform.add_argument("--synth", type=int, default=0, metavar="N",
+                         help="gate N synthetic instances per family: "
+                              "parallelism labels must hold and "
+                              "estimator errors must stay within the "
+                              "measured per-family atlas bounds "
+                              "(default 0 = skip)")
+    conform.add_argument("--synth-goldens", metavar="PATH",
+                         default=os.path.join("tests",
+                                              "goldens_synth.json"),
+                         help="pinned per-family golden programs "
+                              "(default tests/goldens_synth.json); "
+                              "regenerated by --update-goldens")
 
-    sub.add_parser("list", help="list the bundled paper workloads")
+    synth = sub.add_parser(
+        "synth",
+        help="generate labelled synthetic workloads (see 'jrpm synth "
+             "--list' for the families)")
+    synth.add_argument("--list", action="store_true", dest="list_families",
+                       help="list the families and their labels")
+    synth.add_argument("--families", metavar="A,B,...",
+                       help="comma-separated family subset "
+                            "(default: all)")
+    synth.add_argument("--per-family", type=int, default=None,
+                       metavar="N",
+                       help="instances per family (default %d)"
+                            % 20)
+    synth.add_argument("--seed", type=int, default=None, metavar="N",
+                       help="base seed; instance i of family F depends "
+                            "only on (seed, F, i), so any subset "
+                            "regenerates byte-identically (default: "
+                            "the registry's pinned corpus seed)")
+    synth.add_argument("--json", action="store_true",
+                       help="emit instances with labels and source as "
+                            "JSON")
+    synth.add_argument("--source", action="store_true",
+                       help="print each instance's minijava source")
+    synth.add_argument("--out", metavar="DIR",
+                       help="write one .mj file per instance plus "
+                            "labels.json to DIR")
+
+    list_cmd = sub.add_parser(
+        "list", help="list the bundled paper workloads")
+    list_cmd.add_argument("--synthetic", action="store_true",
+                          help="include the registered synthetic "
+                               "corpus (labelled generated workloads)")
     sub.add_parser("models",
                    help="list the registered execution models")
     return parser
@@ -519,10 +566,18 @@ def _run_conform_command(args) -> int:
         raise SystemExit("--fuzz must be >= 0, got %d" % args.fuzz)
 
     if args.update_goldens:
+        from repro.synth.goldens import update_synth_goldens
+
         payload = update_goldens(args.goldens)
         meta = payload["_meta"]
         print("regenerated %s: %d workloads, corpus version %d"
               % (args.goldens, meta["workloads"], meta["version"]))
+        payload = update_synth_goldens(args.synth_goldens)
+        meta = payload["_meta"]
+        print("regenerated %s: %d pinned family programs, corpus "
+              "version %d, seed %d"
+              % (args.synth_goldens, meta["families"], meta["version"],
+                 meta["base_seed"]))
         return 0
 
     workloads = None
@@ -562,6 +617,28 @@ def _run_conform_command(args) -> int:
         if not args.json:
             print(oracle.render())
 
+    if args.synth > 0:
+        from repro.synth.atlas import build_atlas
+        from repro.workloads.registry import SYNTHETIC, by_category
+
+        # first N registered (default-seed) instances per family, so
+        # the gate exercises exactly the corpus the bounds were
+        # measured on
+        subset = []
+        per_family = {}
+        for w in by_category(SYNTHETIC):
+            family = w.label.family
+            if per_family.get(family, 0) < args.synth:
+                per_family[family] = per_family.get(family, 0) + 1
+                subset.append(w)
+        atlas = build_atlas(instances=subset, jobs=args.jobs)
+        document["synth"] = atlas.to_dict()
+        problems.extend(atlas.violations())
+        if not args.json:
+            if not args.skip_oracle:
+                print()
+            print(atlas.render())
+
     if args.fuzz > 0:
         seed = args.seed
         if seed is None:
@@ -598,6 +675,75 @@ def _run_conform_command(args) -> int:
     return 1 if problems else 0
 
 
+def _run_synth_command(args) -> int:
+    import json
+
+    from repro.synth.families import (
+        DEFAULT_PER_FAMILY,
+        DEFAULT_SYNTH_SEED,
+        FAMILIES,
+        family_names,
+        generate_corpus,
+    )
+
+    if args.list_families:
+        for name in family_names():
+            family = FAMILIES[name]
+            print("%-10s %-9s %s" % (name, family.expected_class,
+                                     family.description))
+        return 0
+
+    names = None
+    if args.families:
+        names = [n.strip() for n in args.families.split(",")
+                 if n.strip()]
+        unknown = [n for n in names if n not in FAMILIES]
+        if unknown:
+            raise SystemExit(
+                "unknown family %s; choose from: %s"
+                % (", ".join(unknown), ", ".join(family_names())))
+    per_family = args.per_family if args.per_family is not None \
+        else DEFAULT_PER_FAMILY
+    if per_family < 1:
+        raise SystemExit("--per-family must be >= 1, got %d"
+                         % per_family)
+    seed = args.seed if args.seed is not None else DEFAULT_SYNTH_SEED
+    corpus = generate_corpus(families=names, per_family=per_family,
+                             base_seed=seed)
+
+    if args.json:
+        print(json.dumps(
+            [{"name": w.name, "source": w.source(),
+              "label": w.label.to_dict()} for w in corpus],
+            indent=1, sort_keys=True))
+        return 0
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        labels = {}
+        for w in corpus:
+            with open(os.path.join(args.out, w.name + ".mj"),
+                      "w") as handle:
+                handle.write(w.source())
+            labels[w.name] = w.label.to_dict()
+        with open(os.path.join(args.out, "labels.json"), "w") as handle:
+            handle.write(json.dumps(labels, indent=1, sort_keys=True))
+        print("wrote %d instance(s) + labels.json to %s"
+              % (len(corpus), args.out))
+        return 0
+
+    for w in corpus:
+        label = w.label
+        print("%-22s %-10s %-9s %s"
+              % (w.name, label.family, label.expected_class,
+                 "; ".join(label.carried) or "no carried dependence"))
+        if args.source:
+            print(w.source())
+    print("%d instance(s), %d per family, seed %d"
+          % (len(corpus), per_family, seed))
+    return 0
+
+
 def _resolve_source(target: str) -> tuple:
     """Return (name, minijava source) for a workload name or file."""
     if os.path.exists(target):
@@ -619,9 +765,12 @@ def main(argv=None) -> int:
 
     if args.command == "list":
         from repro.workloads.registry import all_workloads
-        for w in all_workloads():
+        for w in all_workloads(include_synthetic=args.synthetic):
             print("%-16s %-14s %s" % (w.name, w.category, w.description))
         return 0
+
+    if args.command == "synth":
+        return _run_synth_command(args)
 
     if args.command == "models":
         from repro.models import get_model, model_names

@@ -158,7 +158,8 @@ class _FrontendHandler(JsonHandler):
         elif path == "/workloads":
             from repro.workloads.registry import workload_names
             status = 200
-            self._send_json(200, {"workloads": workload_names()})
+            self._send_json(200, {"workloads": workload_names(
+                include_synthetic=True)})
         else:
             endpoint, status = "other", 404
             self._send_json(404, error_body("no such endpoint: %s"

@@ -165,7 +165,8 @@ class _Handler(JsonHandler):
         elif path == "/workloads":
             from repro.workloads.registry import workload_names
             status = 200
-            self._send_json(200, {"workloads": workload_names()})
+            self._send_json(200, {"workloads": workload_names(
+                include_synthetic=True)})
         elif parse_peek_path(path) is not None:
             endpoint = "peek"
             outcome = service.scheduler.peek(parse_peek_path(path))

@@ -1,0 +1,73 @@
+"""Family-based workload synthesizer (known-parallelism labels).
+
+Importing this package hooks one lazy loader per family into the
+workload registry (:func:`repro.workloads.registry.register_family`),
+so the default corpus — :data:`~repro.synth.families.DEFAULT_PER_FAMILY`
+instances of each family at the pinned default seed — appears under the
+``synthetic`` category on first registry access and is addressable by
+name from ``jrpm run``/``fleet``/``conform`` and the analysis service.
+
+Heavier machinery stays in submodules to keep registry access cheap:
+
+* :mod:`repro.synth.families` — the generators and labels
+* :mod:`repro.synth.oracle` — the label oracle (parallel families must
+  speed up under >= 1 model, serial must not)
+* :mod:`repro.synth.atlas` — the per-family estimator error atlas
+* :mod:`repro.synth.goldens` — the pinned per-family golden programs
+"""
+
+from repro.synth.families import (
+    CLASS_DOACROSS,
+    CLASS_DOALL,
+    CLASS_SERIAL,
+    DEFAULT_PER_FAMILY,
+    DEFAULT_SYNTH_SEED,
+    FAMILIES,
+    Family,
+    LABEL_CLASSES,
+    PARALLEL_CLASSES,
+    ParallelismLabel,
+    SyntheticWorkload,
+    default_corpus,
+    family_names,
+    generate_corpus,
+    generate_family,
+    generate_instance,
+    get_family,
+    instance_name,
+)
+from repro.workloads.registry import register_family
+
+
+def _default_loader(family_name):
+    """One lazy loader per family (late-bound to survive reset)."""
+    def load():
+        from repro.synth.families import generate_family
+        return generate_family(family_name, DEFAULT_PER_FAMILY,
+                               DEFAULT_SYNTH_SEED)
+    return load
+
+
+for _name in family_names():
+    register_family(_name, _default_loader(_name))
+
+__all__ = [
+    "CLASS_DOACROSS",
+    "CLASS_DOALL",
+    "CLASS_SERIAL",
+    "DEFAULT_PER_FAMILY",
+    "DEFAULT_SYNTH_SEED",
+    "FAMILIES",
+    "Family",
+    "LABEL_CLASSES",
+    "PARALLEL_CLASSES",
+    "ParallelismLabel",
+    "SyntheticWorkload",
+    "default_corpus",
+    "family_names",
+    "generate_corpus",
+    "generate_family",
+    "generate_instance",
+    "get_family",
+    "instance_name",
+]

@@ -9,10 +9,14 @@ from repro.workloads.registry import (
     FLOATING,
     INTEGER,
     MULTIMEDIA,
+    SYNTHETIC,
     Workload,
     all_workloads,
     by_category,
     get_workload,
+    register_family,
+    reset_synthetic,
+    unregister_family,
     workload_names,
 )
 
@@ -20,9 +24,13 @@ __all__ = [
     "FLOATING",
     "INTEGER",
     "MULTIMEDIA",
+    "SYNTHETIC",
     "Workload",
     "all_workloads",
     "by_category",
     "get_workload",
+    "register_family",
+    "reset_synthetic",
+    "unregister_family",
     "workload_names",
 ]

@@ -1,5 +1,5 @@
 """Workload registry: the paper's 26 benchmarks (Table 6), rewritten in
-minijava.
+minijava, plus the synthesized ``synthetic`` corpus.
 
 The original suites (jBYTEmark, SPECjvm98, Java Grande, and the authors'
 multimedia codecs) are Java programs we cannot run; each workload here
@@ -14,11 +14,22 @@ Table 6's static columns are carried as metadata:
 * ``data_sensitive`` — column (b): does the best decomposition change
   with input size?
 * ``dataset`` — the input-size label the paper lists.
+
+Beyond the fixed Table 6 corpus, *family loaders* registered through
+:func:`register_family` contribute generated workloads under the
+:data:`SYNTHETIC` category (see :mod:`repro.synth`).  Loaders run
+lazily on first registry access, so importing the registry stays
+cheap; the defaults (:func:`all_workloads`, :func:`workload_names`)
+keep returning exactly the Table 6 rows so goldens, benches, and the
+conformance oracle are unaffected, while :func:`get_workload` and
+``by_category(SYNTHETIC)`` resolve synthetic instances like any other
+workload — which is what ``jrpm run``/``fleet``/``conform`` and the
+analysis service go through.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List
 
 from repro.bytecode.program import Program
 from repro.lang.codegen import compile_source
@@ -27,6 +38,9 @@ from repro.lang.codegen import compile_source
 INTEGER = "integer"
 FLOATING = "floating point"
 MULTIMEDIA = "multimedia"
+
+#: generated workloads with known-parallelism labels (repro.synth)
+SYNTHETIC = "synthetic"
 
 
 class Workload:
@@ -64,22 +78,92 @@ _REGISTRY: Dict[str, Workload] = {}
 #: canonical presentation order (the paper's Table 6 row order)
 _ORDER: List[str] = []
 
+#: synthetic workloads in family-loader registration order
+_SYNTH_ORDER: List[str] = []
+
+#: family name -> loader yielding synthetic Workloads; invoked lazily
+_FAMILY_LOADERS: Dict[str, Callable[[], Iterable[Workload]]] = {}
+
+#: family names whose loader has already populated the registry
+_LOADED_FAMILIES: set = set()
+
 
 def register(workload: Workload) -> Workload:
-    """Add a workload to the registry (module import time)."""
+    """Add a workload to the registry (module import time for the
+    Table 6 corpus, family-loader time for synthetic instances)."""
     if workload.name in _REGISTRY:
         raise ValueError("duplicate workload %r" % workload.name)
     _REGISTRY[workload.name] = workload
-    _ORDER.append(workload.name)
+    if workload.category == SYNTHETIC:
+        _SYNTH_ORDER.append(workload.name)
+    else:
+        _ORDER.append(workload.name)
     return workload
+
+
+def register_family(name: str,
+                    loader: Callable[[], Iterable[Workload]]) -> None:
+    """Hook a lazy loader of :data:`SYNTHETIC` workloads into the
+    registry.
+
+    ``loader()`` is called at most once, on the first registry access
+    after registration, and must yield :class:`Workload` objects in the
+    ``synthetic`` category (``ValueError`` otherwise).  Registering a
+    second loader under the same family name raises ``ValueError`` —
+    family names are as unique as workload names.
+    """
+    if name in _FAMILY_LOADERS:
+        raise ValueError("duplicate workload family %r" % name)
+    _FAMILY_LOADERS[name] = loader
+
+
+def reset_synthetic() -> None:
+    """Drop every synthetic workload and re-arm the family loaders.
+
+    Test isolation hook: a module that registers extra synthetic
+    workloads (or whole families) calls this to restore the registry to
+    its default state; the built-in loaders repopulate the default
+    corpus on the next access.  The Table 6 corpus is never touched.
+    """
+    for name in _SYNTH_ORDER:
+        _REGISTRY.pop(name, None)
+    del _SYNTH_ORDER[:]
+    _LOADED_FAMILIES.clear()
+
+
+def unregister_family(name: str) -> None:
+    """Remove one family loader (and its workloads) entirely.
+
+    Complements :func:`reset_synthetic` for tests that temporarily
+    register a throwaway family: resetting alone would re-run the
+    loader and bring the family back.
+    """
+    _FAMILY_LOADERS.pop(name, None)
+    reset_synthetic()
 
 
 def _ensure_loaded() -> None:
     # importing the subpackages populates the registry, in Table 6
-    # order: integer, floating point, multimedia
+    # order: integer, floating point, multimedia.  The synth package
+    # hooks its default family loaders via register_family on import.
     from repro.workloads import integer  # noqa: F401
     from repro.workloads import floating  # noqa: F401
     from repro.workloads import multimedia  # noqa: F401
+    import repro.synth  # noqa: F401
+
+    for family in list(_FAMILY_LOADERS):
+        if family in _LOADED_FAMILIES:
+            continue
+        # mark first: a loader that itself touches the registry (e.g.
+        # name-collision checks through get_workload) must not recurse
+        _LOADED_FAMILIES.add(family)
+        for workload in _FAMILY_LOADERS[family]():
+            if workload.category != SYNTHETIC:
+                raise ValueError(
+                    "family loader %r produced a non-synthetic "
+                    "workload %r (category %r)"
+                    % (family, workload.name, workload.category))
+            register(workload)
 
 
 def get_workload(name: str) -> Workload:
@@ -88,19 +172,31 @@ def get_workload(name: str) -> Workload:
     return _REGISTRY[name]
 
 
-def workload_names() -> List[str]:
-    """All names, in Table 6 order."""
+def workload_names(include_synthetic: bool = False) -> List[str]:
+    """All names, in Table 6 order (synthetic appended on request)."""
     _ensure_loaded()
-    return list(_ORDER)
+    names = list(_ORDER)
+    if include_synthetic:
+        names.extend(_SYNTH_ORDER)
+    return names
 
 
-def all_workloads() -> List[Workload]:
-    """All workloads, in Table 6 order."""
+def all_workloads(include_synthetic: bool = False) -> List[Workload]:
+    """All workloads, in Table 6 order (synthetic appended on
+    request).  The default excludes the synthetic corpus so goldens,
+    Table 6 benches, and the conformance oracle keep operating on
+    exactly the paper's 26 rows."""
     _ensure_loaded()
-    return [_REGISTRY[n] for n in _ORDER]
+    return [_REGISTRY[n] for n in workload_names(include_synthetic)]
 
 
 def by_category(category: str) -> List[Workload]:
-    """Workloads of one Table 6 category."""
+    """Workloads of one category (Table 6's three, or ``synthetic``).
+
+    Synthetic workloads come back in family-loader registration order,
+    which is deterministic run to run.
+    """
     _ensure_loaded()
+    if category == SYNTHETIC:
+        return [_REGISTRY[n] for n in _SYNTH_ORDER]
     return [w for w in all_workloads() if w.category == category]

@@ -32,20 +32,46 @@ def fuzz_seed() -> int:
     return _test_seed()
 
 
+@pytest.fixture
+def synth_replay(request):
+    """Recorder for tests that exercise synthetic instances: call it
+    with each workload under test, and a failure's report names the
+    family and the exact ``jrpm synth`` invocation (family, seed,
+    per-family count) that regenerates the failing program."""
+    def record(workload):
+        hints = getattr(request.node, "_synth_replays", None)
+        if hints is None:
+            hints = []
+            request.node._synth_replays = hints
+        hint = "%s: %s" % (workload.name, workload.replay_hint())
+        if hint not in hints:
+            hints.append(hint)
+    return record
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     """Attach a replay recipe to any failing test that consumed the
-    shared seed, so seeded failures are reproducible from the log."""
+    shared seed (or synthetic instances), so seeded failures are
+    reproducible from the log."""
     outcome = yield
     report = outcome.get_result()
-    if report.when == "call" and report.failed \
-            and "fuzz_seed" in getattr(item, "fixturenames", ()):
+    if report.when != "call" or not report.failed:
+        return
+    if "fuzz_seed" in getattr(item, "fixturenames", ()):
         seed = _test_seed()
         report.sections.append((
             "seed replay",
             "base seed %d (JRPM_TEST_SEED overrides); replay a "
             "program with: jrpm conform --fuzz 1 --seed %d"
             % (seed, seed)))
+    synth_hints = getattr(item, "_synth_replays", None)
+    if synth_hints:
+        report.sections.append((
+            "synthetic replay",
+            "regenerate the instance(s) under test (the failing one "
+            "is the last each command emits):\n"
+            + "\n".join(synth_hints)))
 
 #: a small nest: parallel init loop, reduction loop, nested matrix loop
 NEST_SOURCE = """

@@ -444,8 +444,14 @@ class TestHTTP:
     def test_workloads_endpoint(self, service):
         status, body, _ = _request(service.port, "GET", "/workloads")
         assert status == 200
-        assert "Huffman" in body["workloads"]
-        assert len(body["workloads"]) == 26
+        names = body["workloads"]
+        assert "Huffman" in names
+        # the 26 Table 6 workloads first, synthetic instances after
+        assert len([n for n in names if not n.startswith("synth-")]) == 26
+        assert "synth-stencil-000" in names
+        # the 26 Table 6 workloads lead; synthetic instances follow
+        assert not names[0].startswith("synth-")
+        assert names[-1].startswith("synth-")
 
     def test_unknown_paths_404(self, service):
         assert _request(service.port, "GET", "/zzz")[0] == 404

@@ -1,0 +1,265 @@
+"""The workload synthesizer: determinism, registry behavior, and the
+parallelism labels as end-to-end oracles.
+
+Determinism is the load-bearing property — an instance is addressed
+only by ``(seed, family, index)``, so replay hints, pinned goldens,
+and the atlas bounds all assume regeneration is byte-identical no
+matter what was generated before or in what order."""
+
+import random
+
+import pytest
+
+from repro.synth.families import (
+    CLASS_SERIAL,
+    DEFAULT_PER_FAMILY,
+    DEFAULT_SYNTH_SEED,
+    FAMILIES,
+    PARALLEL_CLASSES,
+    default_corpus,
+    family_names,
+    generate_corpus,
+    generate_family,
+    generate_instance,
+)
+from repro.synth.oracle import (
+    PARALLEL_MIN_SPEEDUP,
+    SERIAL_MAX_SPEEDUP,
+    label_task,
+    run_label_oracle,
+)
+from repro.workloads.registry import (
+    INTEGER,
+    SYNTHETIC,
+    Workload,
+    all_workloads,
+    by_category,
+    get_workload,
+    register,
+    register_family,
+    reset_synthetic,
+    unregister_family,
+    workload_names,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        for family in family_names():
+            first = generate_instance(family, 2, 424242)
+            again = generate_instance(family, 2, 424242)
+            assert first.source() == again.source()
+            assert first.label.to_dict() == again.label.to_dict()
+
+    def test_call_order_does_not_perturb(self):
+        """Instance i depends only on (seed, family, i) — generating
+        the corpus in any order, or other instances in between, leaves
+        every source byte-identical."""
+        forward = [generate_instance("graph", i, 99).source()
+                   for i in range(6)]
+        # interleave unrelated generations, then regenerate backwards
+        for family in family_names():
+            generate_family(family, 3, 123456)
+        backward = [generate_instance("graph", i, 99).source()
+                    for i in reversed(range(6))]
+        assert forward == list(reversed(backward))
+
+    def test_prior_use_of_global_rng_does_not_perturb(self):
+        """Generators never touch the global random module state."""
+        baseline = generate_instance("mixed", 4, 77).source()
+        random.seed(0)
+        random.random()
+        assert generate_instance("mixed", 4, 77).source() == baseline
+
+    def test_distinct_indices_and_seeds_differ(self):
+        a = generate_instance("stencil", 0, 5).source()
+        b = generate_instance("stencil", 1, 5).source()
+        c = generate_instance("stencil", 0, 6).source()
+        assert a != b
+        assert a != c
+
+    def test_registered_corpus_matches_direct_generation(self):
+        """The lazy-loaded registry corpus is the same bytes as a
+        direct generate_instance call at the pinned defaults."""
+        for family in family_names():
+            registered = get_workload("synth-%s-007" % family)
+            direct = generate_instance(family, 7, DEFAULT_SYNTH_SEED)
+            assert registered.source() == direct.source()
+
+    def test_every_instance_compiles_and_carries_a_valid_label(self):
+        for w in default_corpus():
+            w.compile()
+            label = w.label
+            assert label.expected_class in PARALLEL_CLASSES \
+                or label.expected_class == CLASS_SERIAL
+            if label.expected_class == CLASS_SERIAL:
+                assert label.carried, \
+                    "serial labels must name the carried dependence"
+
+    def test_replay_hint_regenerates_the_instance(self):
+        """The hint's --per-family N covers indices 0..N-1, so the
+        failing instance is the last one it regenerates."""
+        w = generate_instance("chase", 3, DEFAULT_SYNTH_SEED)
+        hint = w.replay_hint()
+        assert "--families chase" in hint
+        assert "--seed %d" % DEFAULT_SYNTH_SEED in hint
+        assert "--per-family 4" in hint
+        corpus = generate_corpus(families=["chase"], per_family=4,
+                                 base_seed=DEFAULT_SYNTH_SEED)
+        assert corpus[-1].source() == w.source()
+
+
+class TestRegistry:
+    def test_duplicate_workload_rejected(self):
+        with pytest.raises(ValueError, match="duplicate workload"):
+            register(Workload("BitOps", INTEGER, "imposter",
+                              "func main() { return 0; }"))
+
+    def test_duplicate_family_rejected(self):
+        # the built-in families registered when repro.synth imported
+        get_workload("synth-chase-000")  # force the lazy load
+        with pytest.raises(ValueError, match="duplicate .*family"):
+            register_family("chase", lambda: [])
+
+    def test_default_views_exclude_synthetic(self):
+        names = workload_names()
+        assert not any(n.startswith("synth-") for n in names)
+        assert all(w.category != SYNTHETIC for w in all_workloads())
+
+    def test_synthetic_ordering_is_stable(self):
+        first = [w.name for w in by_category(SYNTHETIC)]
+        again = [w.name for w in by_category(SYNTHETIC)]
+        assert first == again
+        assert len(first) >= 5 * 20
+        # family blocks in registration order, indices ascending
+        assert first[:2] == ["synth-stencil-000", "synth-stencil-001"]
+        with_synth = workload_names(include_synthetic=True)
+        assert with_synth == workload_names() + first
+
+    def test_reset_synthetic_repopulates_defaults(self):
+        before = [w.name for w in by_category(SYNTHETIC)]
+        reset_synthetic()
+        assert by_category(SYNTHETIC) != []  # lazily repopulated
+        assert [w.name for w in by_category(SYNTHETIC)] == before
+        assert len(workload_names()) == 26
+
+    def test_extra_family_is_isolated_and_removable(self):
+        extra = [Workload("synth-extra-%03d" % i, SYNTHETIC, "extra",
+                          "func main() { return %d; }" % i)
+                 for i in range(3)]
+        register_family("extra", lambda: extra)
+        try:
+            names = [w.name for w in by_category(SYNTHETIC)]
+            assert "synth-extra-000" in names
+            assert get_workload("synth-extra-001") is extra[1]
+            # the Table 6 views never see it
+            assert "synth-extra-000" not in workload_names()
+        finally:
+            unregister_family("extra")
+        names = [w.name for w in by_category(SYNTHETIC)]
+        assert "synth-extra-000" not in names
+        assert len(names) >= 5 * DEFAULT_PER_FAMILY
+        with pytest.raises(KeyError):
+            get_workload("synth-extra-000")
+
+    def test_loader_must_yield_synthetic_category(self):
+        register_family(
+            "rogue", lambda: [Workload("rogue-0", INTEGER, "rogue",
+                                       "func main() { return 0; }")])
+        try:
+            with pytest.raises(ValueError, match="non-synthetic"):
+                by_category(SYNTHETIC)
+        finally:
+            unregister_family("rogue")
+        assert by_category(SYNTHETIC) != []
+
+
+class TestLabelOracle:
+    """Labels checked through the full pipeline — stage 1 through the
+    TLS simulation — under the multi-model argmax."""
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_label_holds_end_to_end(self, family, synth_replay):
+        w = get_workload("synth-%s-000" % family)
+        synth_replay(w)
+        row = label_task(w)
+        assert row.satisfied, row.detail
+        if row.parallel:
+            assert row.actual_speedup >= PARALLEL_MIN_SPEEDUP
+        else:
+            assert row.actual_speedup <= SERIAL_MAX_SPEEDUP
+
+    def test_doacross_wins_a_doacross_friendly_loop(self, synth_replay):
+        """On a reduction instance the per-loop argmax must actually
+        pick the DOACROSS model for at least one selected loop — the
+        synthesizer exercises the model-selection path, not just
+        hydra-tls everywhere."""
+        from repro.jrpm.pipeline import Jrpm
+
+        w = get_workload("synth-reduction-004")
+        synth_replay(w)
+        report = Jrpm(source=w.source(), name=w.name,
+                      models="all").run()
+        models = {sel.model for sel in report.selection.selected}
+        assert "doacross" in models
+
+    def test_label_oracle_over_a_subset(self, synth_replay):
+        corpus = [get_workload("synth-%s-001" % f)
+                  for f in family_names()]
+        for w in corpus:
+            synth_replay(w)
+        report = run_label_oracle(instances=corpus)
+        assert report.violations() == []
+        assert len(report.rows) == len(corpus)
+        rendered = report.render()
+        assert "label oracle: 5/5" in rendered
+
+
+class TestErrorAtlas:
+    def test_chase_breaks_the_fallback_bound(self, synth_replay):
+        """The atlas's reason to exist: the chase family produces
+        estimator errors beyond the 40% fallback the conformance
+        oracle applies to unmeasured programs, while staying inside
+        its own measured family bound."""
+        from repro.conformance.oracle import DEFAULT_ERROR_BOUND
+        from repro.synth.atlas import build_atlas
+
+        instances = [get_workload("synth-%s-000" % f)
+                     for f in family_names()]
+        for w in instances:
+            synth_replay(w)
+        atlas = build_atlas(instances=instances)
+        assert atlas.violations() == []
+        assert "chase" in atlas.breakers()
+        chase = atlas.family_stats("chase")
+        assert chase.max_error > DEFAULT_ERROR_BOUND
+        assert chase.max_error <= atlas.bound_for("chase")
+
+    def test_conformance_oracle_accepts_family_bounds(self,
+                                                      synth_replay):
+        """run_oracle gates the synthetic corpus once the atlas's
+        per-family ceilings ride in as workload_bounds — the wiring
+        jrpm conform --synth builds on."""
+        from repro.conformance.oracle import run_oracle
+        from repro.synth.atlas import (
+            synthetic_known_mismatches,
+            synthetic_workload_bounds,
+        )
+
+        instances = [get_workload("synth-chase-000"),
+                     get_workload("synth-graph-000")]
+        for w in instances:
+            synth_replay(w)
+        report = run_oracle(
+            workloads=instances,
+            workload_bounds=synthetic_workload_bounds(instances),
+            known_mismatches=synthetic_known_mismatches(instances))
+        assert report.violations() == []
+        # without the measured bounds, chase trips the fallback —
+        # and its winner ranking flips for the same reason
+        bare = run_oracle(workloads=instances, workload_bounds={})
+        violations = bare.violations()
+        assert any("synth-chase-000" in v and "exceeds" in v
+                   for v in violations)
+        assert any("synth-chase-000" in v and "winner" in v
+                   for v in violations)
